@@ -1,0 +1,62 @@
+//! Microbenches for the distance substrate (§VI-D context): the O(L²) raw
+//! measures the embeddings replace, vs the O(d) embedding distances that
+//! replace them — the speed asymmetry motivating the whole field.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lh_core::distance::{alpha_f32, euclidean_f32, fused_f32, lorentz_f32};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use traj_core::normalize::Normalizer;
+use traj_dist::MeasureKind;
+
+fn bench_raw_measures(c: &mut Criterion) {
+    let raw = lh_data::generate(lh_data::DatasetPreset::Chengdu, 16, 5);
+    let ds = Normalizer::fit(&raw).unwrap().dataset(&raw);
+    let a = &ds.trajectories()[0];
+    let b = &ds.trajectories()[1];
+    let mut group = c.benchmark_group("raw_measure");
+    for kind in [
+        MeasureKind::Dtw,
+        MeasureKind::Sspd,
+        MeasureKind::Edr,
+        MeasureKind::Hausdorff,
+        MeasureKind::DiscreteFrechet,
+    ] {
+        let m = kind.measure();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &m, |bench, m| {
+            bench.iter(|| std::hint::black_box(m.distance(a, b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_embedding_distances(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let dim = 16usize;
+    let eu_a: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let eu_b: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let hy_a: Vec<f32> = (0..dim + 1).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let hy_b: Vec<f32> = (0..dim + 1).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let f_a: Vec<f32> = (0..16).map(|_| rng.gen_range(0.01..1.0)).collect();
+    let f_b: Vec<f32> = (0..16).map(|_| rng.gen_range(0.01..1.0)).collect();
+
+    let mut group = c.benchmark_group("embedding_distance");
+    group.bench_function("euclidean_d16", |b| {
+        b.iter(|| std::hint::black_box(euclidean_f32(&eu_a, &eu_b)))
+    });
+    group.bench_function("lorentz_d16", |b| {
+        b.iter(|| std::hint::black_box(lorentz_f32(&hy_a, &hy_b, 1.0)))
+    });
+    group.bench_function("fused_d16", |b| {
+        b.iter(|| {
+            let alpha = alpha_f32(&f_a[..8], &f_b[..8], &f_a[8..], &f_b[8..]);
+            let d_lo = lorentz_f32(&hy_a, &hy_b, 1.0);
+            let d_eu = euclidean_f32(&eu_a, &eu_b);
+            std::hint::black_box(fused_f32(alpha, d_lo, d_eu))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_measures, bench_embedding_distances);
+criterion_main!(benches);

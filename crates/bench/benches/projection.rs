@@ -1,0 +1,48 @@
+//! Microbenches for the hyperbolic projections: the O(d) per-trajectory
+//! cost the plugin adds at embedding time (§IV complexity analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lh_core::projection::{cosh_project_rows, vanilla_project_rows};
+use lh_hyperbolic::projection as refproj;
+use lh_nn::{Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_f64_reference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut group = c.benchmark_group("projection_f64");
+    for dim in [16usize, 64, 128] {
+        let x: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        group.bench_with_input(BenchmarkId::new("vanilla", dim), &x, |b, x| {
+            b.iter(|| std::hint::black_box(refproj::vanilla_project(x, 1.0)))
+        });
+        group.bench_with_input(BenchmarkId::new("cosh_c4", dim), &x, |b, x| {
+            b.iter(|| std::hint::black_box(refproj::cosh_project(x, 1.0, 4.0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tape_batched(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let mut group = c.benchmark_group("projection_tape_batch64");
+    let batch = Tensor::uniform(64, 16, 1.0, &mut rng);
+    group.bench_function("vanilla", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.constant(batch.clone());
+            std::hint::black_box(vanilla_project_rows(&mut tape, x, 1.0))
+        })
+    });
+    group.bench_function("cosh_c4", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let x = tape.constant(batch.clone());
+            std::hint::black_box(cosh_project_rows(&mut tape, x, 1.0, 4.0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_f64_reference, bench_tape_batched);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Training-step microbenches: one forward+backward+Adam step for each
+//! plugin variant — quantifying §VI-E's "the plugin adds little training
+//! cost" claim at the batch level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lh_core::config::{PluginConfig, PluginVariant};
+use lh_core::pipeline::ExperimentSpec;
+use lh_core::trainer::{LhModel, Trainer, TrainerConfig};
+use lh_data::DatasetPreset;
+use lh_models::ModelKind;
+use traj_core::normalize::Normalizer;
+use traj_dist::{pairwise_matrix, MeasureKind};
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let raw = lh_data::generate(DatasetPreset::Smoke, 32, 3);
+    let ds = Normalizer::fit(&raw).unwrap().dataset(&raw);
+    let gt = pairwise_matrix(ds.trajectories(), &MeasureKind::Dtw.measure());
+    let _ = ExperimentSpec::quick(); // keep the pipeline API exercised
+
+    let mut group = c.benchmark_group("train_one_epoch_n32");
+    group.sample_size(10);
+    for variant in PluginVariant::ABLATION {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.name()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let mut model = LhModel::new(
+                        ModelKind::Traj2SimVec,
+                        Default::default(),
+                        PluginConfig::paper_default().with_variant(variant),
+                        &ds,
+                        7,
+                    );
+                    let mut trainer = Trainer::new(TrainerConfig {
+                        epochs: 1,
+                        batch_pairs: 32,
+                        lr: 3e-3,
+                        k_near: 2,
+                        k_rand: 2,
+                        seed: 5,
+                    });
+                    std::hint::black_box(trainer.train(
+                        &mut model,
+                        ds.trajectories(),
+                        &gt,
+                        |_, _| None,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_epoch);
+criterion_main!(benches);

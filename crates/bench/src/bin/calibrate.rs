@@ -1,0 +1,40 @@
+//! Calibration utility (not a paper experiment): times one original-vs-
+//! plugin pair at the default harness scale and prints the accuracy gap.
+//! Used to pick the default scales in `scales.rs`; kept because it is the
+//! quickest smoke test that the whole pipeline behaves.
+
+use lh_bench::{default_spec, print_header, Args};
+use lh_core::config::PluginVariant;
+use lh_core::pipeline::run_experiment;
+
+fn main() {
+    let args = Args::parse();
+    print_header("calibrate", "one original-vs-plugin pair at harness scale");
+    let mut spec = default_spec(&args);
+
+    let t0 = std::time::Instant::now();
+    let full = run_experiment(&spec);
+    let full_time = t0.elapsed().as_secs_f64();
+
+    spec.plugin = spec.plugin.with_variant(PluginVariant::Original);
+    let t1 = std::time::Instant::now();
+    let orig = run_experiment(&spec);
+    let orig_time = t1.elapsed().as_secs_f64();
+
+    println!(
+        "dataset={} n={} measure={:?} model={:?} train_rv={:.3}",
+        spec.preset.name(),
+        spec.n,
+        spec.measure,
+        spec.model,
+        full.train_rv
+    );
+    println!(
+        "original:  HR@5={:.3} HR@10={:.3} HR@50={:.3} NDCG@10={:.3} ({:.1}s train, {:.1}s gt)",
+        orig.eval.hr5, orig.eval.hr10, orig.eval.hr50, orig.eval.ndcg10, orig_time, orig.gt_seconds
+    );
+    println!(
+        "lh-plugin: HR@5={:.3} HR@10={:.3} HR@50={:.3} NDCG@10={:.3} ({:.1}s train, {:.1}s gt)",
+        full.eval.hr5, full.eval.hr10, full.eval.hr50, full.eval.ndcg10, full_time, full.gt_seconds
+    );
+}

@@ -1,0 +1,135 @@
+//! **Fig. 5** — RVS distribution comparison: ground truth vs Euclidean
+//! embedding distances vs fusion distances, over triangle-violating
+//! triples.
+//!
+//! The paper's claim: Euclidean RVS mass sits entirely on the negative
+//! half-axis (the triangle inequality binds), the ground-truth mass on the
+//! positive half-axis (true violations), and the LH-plugin moves the model
+//! mass toward the positive side.
+//!
+//! Usage: `cargo run --release -p lh-bench --bin fig5_rvs_distribution
+//!        [--n 200] [--epochs 30] [--triples 4000] [--seed 42]`
+
+use lh_bench::printer::write_artifact;
+use lh_bench::{default_spec, print_header, Args, Table};
+use lh_core::config::PluginVariant;
+use lh_core::pipeline::run_experiment;
+use lh_core::EmbeddingStore;
+use lh_metrics::violation::{rvs, sample_triplets, tvf};
+use lh_metrics::Histogram;
+use serde::Serialize;
+use traj_dist::{pairwise_matrix, DistanceMatrix};
+
+fn model_rvs(
+    store: &EmbeddingStore,
+    triples: &[(usize, usize, usize)],
+) -> Vec<f64> {
+    triples
+        .iter()
+        .map(|&(i, j, k)| {
+            let d_ij = store.distance_from(store, i, j) as f64;
+            let d_ik = store.distance_from(store, i, k) as f64;
+            let d_jk = store.distance_from(store, j, k) as f64;
+            rvs(d_ij, d_ik, d_jk)
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct Fig5Out {
+    bins: usize,
+    range: (f64, f64),
+    gt_density: Vec<f64>,
+    euclidean_density: Vec<f64>,
+    fusion_density: Vec<f64>,
+    gt_positive_mass: f64,
+    euclidean_positive_mass: f64,
+    fusion_positive_mass: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    print_header(
+        "Fig. 5",
+        "RVS distributions: ground truth vs Euclidean vs fusion distance",
+    );
+
+    let mut spec = default_spec(&args);
+    spec.trainer.epochs = args.get("epochs", 30usize);
+    spec.plugin = spec.plugin.with_variant(PluginVariant::Original);
+    let orig = run_experiment(&spec);
+    eprintln!("[fig5] original trained");
+    spec.plugin = spec.plugin.with_variant(PluginVariant::FusionDist);
+    let plug = run_experiment(&spec);
+    eprintln!("[fig5] plugin trained");
+
+    // Violating triples of the database under the ground truth.
+    let measure = spec.measure.measure();
+    let gt: DistanceMatrix = pairwise_matrix(orig.database.trajectories(), &measure);
+    let sample = sample_triplets(orig.database.len(), args.get("triples", 4000usize), spec.seed);
+    let violating: Vec<(usize, usize, usize)> = sample
+        .triples()
+        .iter()
+        .copied()
+        .filter(|&(i, j, k)| tvf(gt.get(i, j), gt.get(i, k), gt.get(j, k)))
+        .collect();
+    println!(
+        "violating triples: {} of {} sampled",
+        violating.len(),
+        sample.len()
+    );
+
+    let gt_rvs: Vec<f64> = violating
+        .iter()
+        .map(|&(i, j, k)| rvs(gt.get(i, j), gt.get(i, k), gt.get(j, k)))
+        .collect();
+    let eu_store = orig.model.embed(orig.database.trajectories());
+    let fu_store = plug.model.embed(plug.database.trajectories());
+    let eu_rvs = model_rvs(&eu_store, &violating);
+    let fu_rvs = model_rvs(&fu_store, &violating);
+
+    let (lo, hi, bins) = (-1.0, 1.0, 40usize);
+    let mut h_gt = Histogram::new(lo, hi, bins);
+    let mut h_eu = Histogram::new(lo, hi, bins);
+    let mut h_fu = Histogram::new(lo, hi, bins);
+    h_gt.extend(&gt_rvs);
+    h_eu.extend(&eu_rvs);
+    h_fu.extend(&fu_rvs);
+
+    println!("\nRVS density over [-1, 1] (40 bins; '|' marks RVS = 0):");
+    let mark = |s: String| {
+        let (l, r) = s.split_at(bins / 2);
+        format!("{l}|{r}")
+    };
+    println!("  ground truth  {}", mark(h_gt.sparkline()));
+    println!("  euclidean     {}", mark(h_eu.sparkline()));
+    println!("  fusion (LH)   {}", mark(h_fu.sparkline()));
+
+    let mut table = Table::new(&["distance field", "mass at RVS ≥ 0", "mean RVS"]);
+    for (name, h, v) in [
+        ("ground truth", &h_gt, &gt_rvs),
+        ("euclidean (original)", &h_eu, &eu_rvs),
+        ("fusion (LH-plugin)", &h_fu, &fu_rvs),
+    ] {
+        let mean = v.iter().sum::<f64>() / v.len().max(1) as f64;
+        table.row(vec![
+            name.into(),
+            format!("{:.1}%", h.mass_at_or_above(0.0) * 100.0),
+            format!("{mean:+.4}"),
+        ]);
+    }
+    table.print();
+
+    let out = Fig5Out {
+        bins,
+        range: (lo, hi),
+        gt_density: h_gt.density(),
+        euclidean_density: h_eu.density(),
+        fusion_density: h_fu.density(),
+        gt_positive_mass: h_gt.mass_at_or_above(0.0),
+        euclidean_positive_mass: h_eu.mass_at_or_above(0.0),
+        fusion_positive_mass: h_fu.mass_at_or_above(0.0),
+    };
+    let path = write_artifact("fig5_rvs_distribution", &out);
+    println!("\nartifact: {}", path.display());
+}

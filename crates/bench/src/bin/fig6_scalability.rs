@@ -1,0 +1,59 @@
+//! **Fig. 6** — scalability: accuracy vs training-set fraction
+//! (20/40/60/80/100%), original vs LH-plugin with a fixed evaluation set.
+//!
+//! Usage: `cargo run --release -p lh-bench --bin fig6_scalability
+//!        [--n 200] [--epochs 25] [--seed 42]`
+
+use lh_bench::printer::write_artifact;
+use lh_bench::{default_spec, print_header, Args, Table};
+use lh_core::config::PluginVariant;
+use lh_core::pipeline::run_experiment;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct FracPoint {
+    fraction: f64,
+    variant: String,
+    hr10: f64,
+    hr50: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    print_header(
+        "Fig. 6",
+        "scalability: accuracy vs training data size, original vs LH-plugin",
+    );
+    let base = default_spec(&args);
+    let full_db = base.n - base.n_queries;
+
+    let mut table = Table::new(&["fraction", "plugin", "HR@10", "HR@50"]);
+    let mut points = Vec::new();
+    for frac in [0.2f64, 0.4, 0.6, 0.8, 1.0] {
+        for variant in [PluginVariant::Original, PluginVariant::FusionDist] {
+            let mut spec = default_spec(&args);
+            spec.trainer.epochs = args.get("epochs", 25usize);
+            // Shrink the database (training set); the query set stays the
+            // same size and the same seed keeps it identical across runs.
+            spec.n = (full_db as f64 * frac) as usize + spec.n_queries;
+            spec.plugin = spec.plugin.with_variant(variant);
+            let out = run_experiment(&spec);
+            table.row(vec![
+                format!("{:.0}%", frac * 100.0),
+                variant.name().into(),
+                format!("{:.3}", out.eval.hr10),
+                format!("{:.3}", out.eval.hr50),
+            ]);
+            points.push(FracPoint {
+                fraction: frac,
+                variant: variant.name().into(),
+                hr10: out.eval.hr10,
+                hr50: out.eval.hr50,
+            });
+            eprintln!("[fig6] fraction {frac} / {} done", variant.name());
+        }
+    }
+    table.print();
+    let path = write_artifact("fig6_scalability", &points);
+    println!("\nartifact: {}", path.display());
+}

@@ -1,0 +1,72 @@
+//! **Fig. 7** — robustness: per-epoch HR@10 training curves, original vs
+//! LH-plugin, plus the curve-smoothness statistic the paper's narrative
+//! rests on (fluctuation = mean |ΔHR| between consecutive epochs).
+//!
+//! Usage: `cargo run --release -p lh-bench --bin fig7_training_curves
+//!        [--n 160] [--epochs 30] [--model neutraj] [--seed 42]`
+
+use lh_bench::printer::write_artifact;
+use lh_bench::{default_spec, print_header, Args, Table};
+use lh_core::config::PluginVariant;
+use lh_core::pipeline::run_experiment;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Curve {
+    variant: String,
+    hr10_per_epoch: Vec<f64>,
+    loss_per_epoch: Vec<f64>,
+    fluctuation: f64,
+}
+
+fn fluctuation(series: &[f64]) -> f64 {
+    if series.len() < 2 {
+        return 0.0;
+    }
+    series.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (series.len() - 1) as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    print_header("Fig. 7", "robustness: training curves, original vs LH-plugin");
+
+    let mut curves = Vec::new();
+    for variant in [PluginVariant::Original, PluginVariant::FusionDist] {
+        let mut spec = default_spec(&args);
+        spec.trainer.epochs = args.get("epochs", 30usize);
+        spec.eval_every_epoch = true;
+        spec.plugin = spec.plugin.with_variant(variant);
+        let out = run_experiment(&spec);
+        let hr: Vec<f64> = out
+            .report
+            .history
+            .iter()
+            .map(|h| h.eval_metric.unwrap_or(0.0))
+            .collect();
+        let loss: Vec<f64> = out.report.history.iter().map(|h| h.loss).collect();
+        curves.push(Curve {
+            variant: variant.name().into(),
+            fluctuation: fluctuation(&hr),
+            hr10_per_epoch: hr,
+            loss_per_epoch: loss,
+        });
+        eprintln!("[fig7] {} done", variant.name());
+    }
+
+    let mut table = Table::new(&["epoch", "original HR@10", "lh-plugin HR@10"]);
+    let epochs = curves[0].hr10_per_epoch.len();
+    for e in 0..epochs {
+        table.row(vec![
+            format!("{e}"),
+            format!("{:.3}", curves[0].hr10_per_epoch[e]),
+            format!("{:.3}", curves[1].hr10_per_epoch[e]),
+        ]);
+    }
+    table.print();
+    println!(
+        "\ncurve fluctuation (mean |ΔHR@10| per epoch): original = {:.4}, lh-plugin = {:.4}",
+        curves[0].fluctuation, curves[1].fluctuation
+    );
+    let path = write_artifact("fig7_training_curves", &curves);
+    println!("artifact: {}", path.display());
+}

@@ -1,0 +1,77 @@
+//! **Fig. 8** — hyper-parameter sensitivity: β ∈ {0.25, 0.5, 1, 2, 4} and
+//! c ∈ {1, 2, 4, 8}, HR@10 for the full plugin (the paper settles on
+//! β = 1, c = 4).
+//!
+//! Usage: `cargo run --release -p lh-bench --bin fig8_hyperparams
+//!        [--n 160] [--epochs 25] [--seed 42]`
+
+use lh_bench::printer::write_artifact;
+use lh_bench::{default_spec, print_header, Args, Table};
+use lh_core::pipeline::run_experiment;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepPoint {
+    param: String,
+    value: f32,
+    hr10: f64,
+    hr50: f64,
+    ndcg10: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    print_header("Fig. 8", "hyper-parameter evaluation (β and c sweeps)");
+    let mut points = Vec::new();
+
+    let mut beta_table = Table::new(&["β", "HR@10", "HR@50", "NDCG@10"]);
+    for beta in [0.25f32, 0.5, 1.0, 2.0, 4.0] {
+        let mut spec = default_spec(&args);
+        spec.trainer.epochs = args.get("epochs", 25usize);
+        spec.plugin = spec.plugin.with_beta(beta);
+        let out = run_experiment(&spec);
+        beta_table.row(vec![
+            format!("{beta}"),
+            format!("{:.3}", out.eval.hr10),
+            format!("{:.3}", out.eval.hr50),
+            format!("{:.3}", out.eval.ndcg10),
+        ]);
+        points.push(SweepPoint {
+            param: "beta".into(),
+            value: beta,
+            hr10: out.eval.hr10,
+            hr50: out.eval.hr50,
+            ndcg10: out.eval.ndcg10,
+        });
+        eprintln!("[fig8] β = {beta} done");
+    }
+    println!("β sweep (c fixed at 4):");
+    beta_table.print();
+
+    let mut c_table = Table::new(&["c", "HR@10", "HR@50", "NDCG@10"]);
+    for c in [1.0f32, 2.0, 4.0, 8.0] {
+        let mut spec = default_spec(&args);
+        spec.trainer.epochs = args.get("epochs", 25usize);
+        spec.plugin = spec.plugin.with_c(c);
+        let out = run_experiment(&spec);
+        c_table.row(vec![
+            format!("{c}"),
+            format!("{:.3}", out.eval.hr10),
+            format!("{:.3}", out.eval.hr50),
+            format!("{:.3}", out.eval.ndcg10),
+        ]);
+        points.push(SweepPoint {
+            param: "c".into(),
+            value: c,
+            hr10: out.eval.hr10,
+            hr50: out.eval.hr50,
+            ndcg10: out.eval.ndcg10,
+        });
+        eprintln!("[fig8] c = {c} done");
+    }
+    println!("\nc sweep (β fixed at 1):");
+    c_table.print();
+
+    let path = write_artifact("fig8_hyperparams", &points);
+    println!("\nartifact: {}", path.display());
+}

@@ -1,0 +1,114 @@
+//! **Table III** — accuracy on the Chengdu-like and Porto-like datasets.
+//!
+//! For every (dataset × model × measure) cell, trains the base model twice
+//! — original (Euclidean) and with the LH-plugin — under identical seeds
+//! and budgets, and prints HR@5/10/50 and NDCG@10/50 with the paper-style
+//! `%Increase` row.
+//!
+//! Usage: `cargo run --release -p lh-bench --bin table3_accuracy
+//!        [--n 200] [--queries 40] [--epochs 30] [--seed 42] [--fast]`
+
+use lh_bench::printer::{pct, pct_increase, write_artifact};
+use lh_bench::{default_spec, print_header, Args, Table};
+use lh_core::config::PluginVariant;
+use lh_core::pipeline::run_experiment;
+use lh_data::DatasetPreset;
+use lh_metrics::ranking::RankingEval;
+use lh_models::ModelKind;
+use serde::Serialize;
+use traj_dist::MeasureKind;
+
+#[derive(Serialize)]
+struct CellOut {
+    dataset: String,
+    model: String,
+    measure: String,
+    variant: String,
+    eval: RankingEval,
+    train_rv: f64,
+    train_seconds: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    print_header("Table III", "accuracy, original vs LH-plugin (spatial models)");
+    let presets = if args.flag("fast") {
+        vec![DatasetPreset::Chengdu]
+    } else {
+        vec![DatasetPreset::Chengdu, DatasetPreset::Porto]
+    };
+    let models = if args.flag("fast") {
+        vec![ModelKind::Traj2SimVec]
+    } else {
+        vec![ModelKind::Neutraj, ModelKind::TrajGat, ModelKind::Traj2SimVec]
+    };
+    let measures = MeasureKind::SPATIAL;
+
+    let mut table = Table::new(&[
+        "dataset", "model", "sim", "plugin", "HR@5", "HR@10", "HR@50", "NDCG@10", "NDCG@50",
+    ]);
+    let mut cells: Vec<CellOut> = Vec::new();
+    for &preset in &presets {
+        for &model in &models {
+            for measure in measures {
+                let mut spec = default_spec(&args);
+                spec.preset = preset;
+                spec.model = model;
+                spec.measure = measure;
+                spec.trainer.epochs = args.get("epochs", 30usize);
+
+                let mut evals = Vec::new();
+                for variant in [PluginVariant::Original, PluginVariant::FusionDist] {
+                    spec.plugin = spec.plugin.with_variant(variant);
+                    let out = run_experiment(&spec);
+                    table.row(vec![
+                        preset.name().into(),
+                        model.name().into(),
+                        measure.name().into(),
+                        if variant == PluginVariant::Original {
+                            "Original".into()
+                        } else {
+                            "LH-plugin".into()
+                        },
+                        pct(out.eval.hr5),
+                        pct(out.eval.hr10),
+                        pct(out.eval.hr50),
+                        format!("{:.4}", out.eval.ndcg10),
+                        format!("{:.4}", out.eval.ndcg50),
+                    ]);
+                    cells.push(CellOut {
+                        dataset: preset.name().into(),
+                        model: model.name().into(),
+                        measure: measure.name().into(),
+                        variant: variant.name().into(),
+                        eval: out.eval,
+                        train_rv: out.train_rv,
+                        train_seconds: out.report.seconds,
+                    });
+                    evals.push(out.eval);
+                }
+                let (orig, lh) = (evals[0], evals[1]);
+                table.row(vec![
+                    preset.name().into(),
+                    model.name().into(),
+                    measure.name().into(),
+                    "%Increase".into(),
+                    pct_increase(orig.hr5, lh.hr5),
+                    pct_increase(orig.hr10, lh.hr10),
+                    pct_increase(orig.hr50, lh.hr50),
+                    pct_increase(orig.ndcg10, lh.ndcg10),
+                    pct_increase(orig.ndcg50, lh.ndcg50),
+                ]);
+                eprintln!(
+                    "[table3] finished {} / {} / {}",
+                    preset.name(),
+                    model.name(),
+                    measure.name()
+                );
+            }
+        }
+    }
+    table.print();
+    let path = write_artifact("table3_accuracy", &cells);
+    println!("\nartifact: {}", path.display());
+}

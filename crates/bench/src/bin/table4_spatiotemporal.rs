@@ -1,0 +1,92 @@
+//! **Table IV** — spatio-temporal accuracy (ST2Vec & Tedj) on the
+//! T-Drive-like dataset with TP, DITA and discrete Fréchet ground truths.
+//!
+//! Usage: `cargo run --release -p lh-bench --bin table4_spatiotemporal
+//!        [--n 160] [--epochs 30] [--seed 42] [--fast]`
+
+use lh_bench::printer::{pct, pct_increase, write_artifact};
+use lh_bench::{default_spec, print_header, Args, Table};
+use lh_core::config::PluginVariant;
+use lh_core::pipeline::run_experiment;
+use lh_data::DatasetPreset;
+use lh_metrics::ranking::RankingEval;
+use lh_models::ModelKind;
+use serde::Serialize;
+use traj_dist::MeasureKind;
+
+#[derive(Serialize)]
+struct CellOut {
+    model: String,
+    measure: String,
+    variant: String,
+    eval: RankingEval,
+    train_rv: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    print_header(
+        "Table IV",
+        "spatio-temporal accuracy, original vs LH-plugin (ST2Vec, Tedj)",
+    );
+    let models = if args.flag("fast") {
+        vec![ModelKind::St2Vec]
+    } else {
+        vec![ModelKind::St2Vec, ModelKind::Tedj]
+    };
+
+    let mut table = Table::new(&[
+        "model", "sim", "plugin", "HR@5", "HR@10", "HR@50", "NDCG@50",
+    ]);
+    let mut cells: Vec<CellOut> = Vec::new();
+    for &model in &models {
+        for measure in MeasureKind::SPATIO_TEMPORAL {
+            let mut spec = default_spec(&args);
+            spec.preset = DatasetPreset::TDrive;
+            spec.model = model;
+            spec.measure = measure;
+            spec.trainer.epochs = args.get("epochs", 30usize);
+
+            let mut evals = Vec::new();
+            for variant in [PluginVariant::Original, PluginVariant::FusionDist] {
+                spec.plugin = spec.plugin.with_variant(variant);
+                let out = run_experiment(&spec);
+                table.row(vec![
+                    model.name().into(),
+                    measure.name().into(),
+                    if variant == PluginVariant::Original {
+                        "Original".into()
+                    } else {
+                        "LH-plugin".into()
+                    },
+                    pct(out.eval.hr5),
+                    pct(out.eval.hr10),
+                    pct(out.eval.hr50),
+                    format!("{:.4}", out.eval.ndcg50),
+                ]);
+                cells.push(CellOut {
+                    model: model.name().into(),
+                    measure: measure.name().into(),
+                    variant: variant.name().into(),
+                    eval: out.eval,
+                    train_rv: out.train_rv,
+                });
+                evals.push(out.eval);
+            }
+            let (orig, lh) = (evals[0], evals[1]);
+            table.row(vec![
+                model.name().into(),
+                measure.name().into(),
+                "%Increase".into(),
+                pct_increase(orig.hr5, lh.hr5),
+                pct_increase(orig.hr10, lh.hr10),
+                pct_increase(orig.hr50, lh.hr50),
+                pct_increase(orig.ndcg50, lh.ndcg50),
+            ]);
+            eprintln!("[table4] finished {} / {}", model.name(), measure.name());
+        }
+    }
+    table.print();
+    let path = write_artifact("table4_spatiotemporal", &cells);
+    println!("\nartifact: {}", path.display());
+}

@@ -1,0 +1,84 @@
+//! **Table VI** — incremental ablation: original → lh-vanilla → lh-cosh →
+//! fusion-dist, per model × measure (HR@5/10/50).
+//!
+//! Usage: `cargo run --release -p lh-bench --bin table6_ablation
+//!        [--n 200] [--epochs 30] [--seed 42] [--fast]`
+
+use lh_bench::printer::{pct, write_artifact};
+use lh_bench::{default_spec, print_header, Args, Table};
+use lh_core::config::PluginVariant;
+use lh_core::pipeline::run_experiment;
+use lh_metrics::ranking::RankingEval;
+use lh_models::ModelKind;
+use serde::Serialize;
+use traj_dist::MeasureKind;
+
+#[derive(Serialize)]
+struct CellOut {
+    model: String,
+    measure: String,
+    variant: String,
+    eval: RankingEval,
+}
+
+fn main() {
+    let args = Args::parse();
+    print_header(
+        "Table VI",
+        "ablation: original / lh-vanilla / lh-cosh / fusion-dist",
+    );
+    let models = if args.flag("fast") {
+        vec![ModelKind::Traj2SimVec]
+    } else {
+        vec![ModelKind::Neutraj, ModelKind::TrajGat, ModelKind::Traj2SimVec]
+    };
+
+    let mut table = Table::new(&[
+        "model", "sim", "metric", "original", "lh-vanilla", "lh-cosh", "fusion-dist",
+    ]);
+    let mut cells: Vec<CellOut> = Vec::new();
+    for &model in &models {
+        for measure in MeasureKind::SPATIAL {
+            let mut results: Vec<RankingEval> = Vec::new();
+            for variant in PluginVariant::ABLATION {
+                let mut spec = default_spec(&args);
+                spec.model = model;
+                spec.measure = measure;
+                spec.trainer.epochs = args.get("epochs", 30usize);
+                spec.plugin = spec.plugin.with_variant(variant);
+                let out = run_experiment(&spec);
+                cells.push(CellOut {
+                    model: model.name().into(),
+                    measure: measure.name().into(),
+                    variant: variant.name().into(),
+                    eval: out.eval,
+                });
+                results.push(out.eval);
+                eprintln!(
+                    "[table6] finished {} / {} / {}",
+                    model.name(),
+                    measure.name(),
+                    variant.name()
+                );
+            }
+            for (metric, f) in [
+                ("HR@5", Box::new(|e: &RankingEval| e.hr5) as Box<dyn Fn(&RankingEval) -> f64>),
+                ("HR@10", Box::new(|e: &RankingEval| e.hr10)),
+                ("HR@50", Box::new(|e: &RankingEval| e.hr50)),
+            ] {
+                table.row(vec![
+                    model.name().into(),
+                    measure.name().into(),
+                    metric.into(),
+                    pct(f(&results[0])),
+                    pct(f(&results[1])),
+                    pct(f(&results[2])),
+                    pct(f(&results[3])),
+                ]);
+            }
+        }
+    }
+    table.print();
+    let path = write_artifact("table6_ablation", &cells);
+    println!("\nartifact: {}", path.display());
+}

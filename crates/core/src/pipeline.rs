@@ -1,0 +1,215 @@
+//! End-to-end experiment driver: dataset → ground truth → training →
+//! retrieval evaluation. Every bench binary is a thin loop over
+//! [`run_experiment`].
+
+use crate::config::PluginConfig;
+use crate::trainer::{LhModel, TrainReport, Trainer, TrainerConfig};
+use lh_data::DatasetPreset;
+use lh_metrics::ranking::RankingEval;
+use lh_models::{EncoderConfig, ModelKind};
+use serde::{Deserialize, Serialize};
+use traj_core::normalize::Normalizer;
+use traj_core::TrajectoryDataset;
+use traj_dist::{cross_matrix, pairwise_matrix, MeasureKind};
+
+/// Everything needed to reproduce one table cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Synthetic dataset profile.
+    pub preset: DatasetPreset,
+    /// Total trajectories generated (`database + queries`).
+    pub n: usize,
+    /// Held-out query count.
+    pub n_queries: usize,
+    /// Ground-truth similarity function.
+    pub measure: MeasureKind,
+    /// Base embedding model.
+    pub model: ModelKind,
+    /// Plugin configuration (variant, β, c).
+    pub plugin: PluginConfig,
+    /// Encoder hyper-parameters.
+    pub encoder: EncoderConfig,
+    /// Trainer hyper-parameters.
+    pub trainer: TrainerConfig,
+    /// Master seed: dataset, init, and sampling all derive from it.
+    pub seed: u64,
+    /// Evaluate HR@10 after every epoch (Fig. 7 needs it; costs an extra
+    /// embedding pass per epoch).
+    pub eval_every_epoch: bool,
+}
+
+impl ExperimentSpec {
+    /// A small default spec (Chengdu-like, DTW, Traj2SimVec, full plugin)
+    /// that trains in seconds.
+    pub fn quick() -> Self {
+        ExperimentSpec {
+            preset: DatasetPreset::Chengdu,
+            n: 140,
+            n_queries: 30,
+            measure: MeasureKind::Dtw,
+            model: ModelKind::Traj2SimVec,
+            plugin: PluginConfig::paper_default(),
+            encoder: EncoderConfig::default(),
+            trainer: TrainerConfig::default(),
+            seed: 42,
+            eval_every_epoch: false,
+        }
+    }
+}
+
+/// Result of one experiment.
+#[derive(Serialize)]
+pub struct ExperimentOutcome {
+    /// Retrieval accuracy on the held-out queries.
+    pub eval: RankingEval,
+    /// Training statistics (loss curve, optional per-epoch HR@10).
+    pub report: TrainReport,
+    /// Ground-truth violation ratio of the training matrix (context for
+    /// interpreting the gain).
+    pub train_rv: f64,
+    /// Wall-clock seconds for ground-truth matrix construction.
+    pub gt_seconds: f64,
+    /// The trained model (callers may re-embed or inspect).
+    #[serde(skip)]
+    pub model: LhModel,
+    /// Normalized database trajectories (shared by post-hoc analyses).
+    #[serde(skip)]
+    pub database: TrajectoryDataset,
+    /// Normalized query trajectories.
+    #[serde(skip)]
+    pub queries: TrajectoryDataset,
+    /// Ground-truth query-to-database distance rows.
+    #[serde(skip)]
+    pub gt_rows: Vec<Vec<f64>>,
+}
+
+/// Evaluates a model's retrieval quality: embeds queries + database and
+/// scores model distance rows against ground-truth rows.
+pub fn evaluate_model(
+    model: &LhModel,
+    queries: &TrajectoryDataset,
+    database: &TrajectoryDataset,
+    gt_rows: &[Vec<f64>],
+) -> RankingEval {
+    let db_store = model.embed(database.trajectories());
+    let q_store = model.embed(queries.trajectories());
+    let pred_rows: Vec<Vec<f64>> = (0..queries.len())
+        .map(|qi| db_store.distance_row_from(&q_store, qi))
+        .collect();
+    RankingEval::evaluate(gt_rows, &pred_rows, false)
+}
+
+/// Runs one full experiment.
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentOutcome {
+    assert!(spec.n_queries < spec.n, "need at least one database trajectory");
+    // 1. Data: generate, normalize on the full set, split.
+    let raw = lh_data::generate(spec.preset, spec.n, spec.seed);
+    let normalizer = Normalizer::fit(&raw).expect("generated data is non-degenerate");
+    let normalized = normalizer.dataset(&raw);
+    let n_db = spec.n - spec.n_queries;
+    let (database, queries) = normalized.split(n_db as f64 / spec.n as f64);
+
+    // 2. Ground truth: symmetric train matrix + query-db cross matrix.
+    let gt_start = std::time::Instant::now();
+    let measure = spec.measure.measure();
+    let train_gt = pairwise_matrix(database.trajectories(), &measure);
+    let cross = cross_matrix(queries.trajectories(), database.trajectories(), &measure);
+    let gt_seconds = gt_start.elapsed().as_secs_f64();
+    let gt_rows: Vec<Vec<f64>> = (0..queries.len()).map(|q| cross.row(q).to_vec()).collect();
+
+    // Violation context for this training matrix.
+    let triplets = lh_metrics::sample_triplets(database.len(), 20_000, spec.seed);
+    let train_rv = lh_metrics::ratio_of_violation(&train_gt, &triplets).rv;
+
+    // 3. Model + training.
+    let mut model = LhModel::new(spec.model, spec.encoder, spec.plugin, &database, spec.seed);
+    let mut trainer = Trainer::new(spec.trainer);
+    let queries_ref = &queries;
+    let database_ref = &database;
+    let gt_rows_ref = &gt_rows;
+    let eval_every = spec.eval_every_epoch;
+    let report = trainer.train(
+        &mut model,
+        database.trajectories(),
+        &train_gt,
+        |_, m| {
+            eval_every
+                .then(|| evaluate_model(m, queries_ref, database_ref, gt_rows_ref).hr10)
+        },
+    );
+
+    // 4. Final evaluation.
+    let eval = evaluate_model(&model, &queries, &database, &gt_rows);
+    ExperimentOutcome {
+        eval,
+        report,
+        train_rv,
+        gt_seconds,
+        model,
+        database,
+        queries,
+        gt_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PluginVariant;
+
+    fn tiny_spec() -> ExperimentSpec {
+        let mut spec = ExperimentSpec::quick();
+        spec.preset = DatasetPreset::Smoke;
+        spec.n = 40;
+        spec.n_queries = 10;
+        spec.trainer = TrainerConfig {
+            epochs: 2,
+            batch_pairs: 32,
+            lr: 3e-3,
+            k_near: 2,
+            k_rand: 2,
+            seed: 9,
+        };
+        spec
+    }
+
+    #[test]
+    fn runs_end_to_end() {
+        let spec = tiny_spec();
+        let out = run_experiment(&spec);
+        assert_eq!(out.queries.len(), 10);
+        assert_eq!(out.database.len(), 30);
+        assert_eq!(out.gt_rows.len(), 10);
+        assert_eq!(out.gt_rows[0].len(), 30);
+        assert!(out.eval.hr10 >= 0.0 && out.eval.hr10 <= 1.0);
+        assert_eq!(out.report.history.len(), 2);
+        assert!(out.train_rv >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let spec = tiny_spec();
+        let a = run_experiment(&spec);
+        let b = run_experiment(&spec);
+        assert_eq!(a.eval, b.eval, "same seed must reproduce exactly");
+    }
+
+    #[test]
+    fn per_epoch_eval_recorded_when_enabled() {
+        let mut spec = tiny_spec();
+        spec.eval_every_epoch = true;
+        let out = run_experiment(&spec);
+        assert!(out.report.history.iter().all(|h| h.eval_metric.is_some()));
+    }
+
+    #[test]
+    fn variants_change_outcomes() {
+        let spec = tiny_spec();
+        let full = run_experiment(&spec);
+        let mut orig_spec = tiny_spec();
+        orig_spec.plugin = orig_spec.plugin.with_variant(PluginVariant::Original);
+        let orig = run_experiment(&orig_spec);
+        // Same data/seed, different geometry → different trained behavior.
+        assert_ne!(full.eval, orig.eval);
+    }
+}

@@ -1,0 +1,183 @@
+//! Differentiable Euclidean → hyperbolic projection (Section IV on the
+//! tape).
+//!
+//! Mirrors `lh_hyperbolic::projection` (the `f64` reference), but as tape
+//! operations so training backpropagates through the lift. Batch semantics:
+//! rows of a `B×d` matrix are projected independently into `B×(d+1)`.
+//!
+//! Numerical guards: norms get a `1e-12` floor before `sqrt`/`powf`, which
+//! keeps gradients finite at the apex (the γ_c derivative is unbounded at
+//! exactly zero norm for `c > 2` — a true property of the math, tamed here
+//! exactly the way the reference implementation and the optimizer's
+//! gradient clip expect).
+
+use crate::config::{PluginConfig, PluginVariant};
+use lh_nn::{Tape, Var};
+
+const NORM_EPS: f32 = 1e-12;
+
+/// Vanilla projection of embedding rows: `x ↦ (√(‖x‖² + β), x)`.
+pub fn vanilla_project_rows(tape: &mut Tape, x: Var, beta: f32) -> Var {
+    let sq = tape.square(x);
+    let norm_sq = tape.row_sum(sq); // B×1
+    let shifted = tape.add_const(norm_sq, beta);
+    let x0 = tape.sqrt(shifted); // B×1
+    tape.concat_cols(x0, x)
+}
+
+/// Cosh projection of embedding rows:
+/// `x ↦ (√β·cosh(m), √β·sinh(m)·x/‖x‖)` with `m = (‖x‖²)^{1/c}`.
+pub fn cosh_project_rows(tape: &mut Tape, x: Var, beta: f32, c: f32) -> Var {
+    let sqrt_beta = beta.sqrt();
+    let sq = tape.square(x);
+    let norm_sq_raw = tape.row_sum(sq); // B×1
+    let norm_sq = tape.add_const(norm_sq_raw, NORM_EPS);
+    let m = tape.powf(norm_sq, 1.0 / c); // B×1 compressed radius
+    let norm = tape.sqrt(norm_sq); // B×1
+
+    let cm = tape.cosh(m);
+    let x0 = tape.scale(cm, sqrt_beta); // B×1
+
+    let sm = tape.sinh(m);
+    let k_unit = tape.div(sm, norm); // B×1: sinh(m)/‖x‖
+    let k = tape.scale(k_unit, sqrt_beta);
+    let spatial = tape.mul(x, k); // column-broadcast over B×d
+    tape.concat_cols(x0, spatial)
+}
+
+/// Projects embedding rows according to the configured variant. Panics for
+/// [`PluginVariant::Original`], which has no hyperbolic part.
+pub fn project_rows(tape: &mut Tape, x: Var, config: &PluginConfig) -> Var {
+    match config.variant {
+        PluginVariant::Original => {
+            panic!("`original` variant has no hyperbolic projection")
+        }
+        PluginVariant::LorentzVanilla => vanilla_project_rows(tape, x, config.beta),
+        PluginVariant::LorentzCosh | PluginVariant::FusionDist => {
+            cosh_project_rows(tape, x, config.beta, config.c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lh_hyperbolic::projection as refproj;
+    use lh_nn::Tensor;
+
+    fn rows() -> Tensor {
+        Tensor::from_vec(
+            3,
+            2,
+            vec![0.5, -0.3, 2.0, 1.0, 0.0, 0.0],
+        )
+    }
+
+    #[test]
+    fn vanilla_matches_f64_reference() {
+        let mut tape = Tape::new();
+        let x = tape.constant(rows());
+        let p = vanilla_project_rows(&mut tape, x, 1.0);
+        let v = tape.value(p);
+        assert_eq!(v.shape(), (3, 3));
+        for r in 0..3 {
+            let input: Vec<f64> = rows().row(r).iter().map(|&f| f as f64).collect();
+            let expect = refproj::vanilla_project(&input, 1.0);
+            for (c, e) in expect.coords().iter().enumerate() {
+                assert!(
+                    (v.get(r, c) as f64 - e).abs() < 1e-5,
+                    "row {r} col {c}: {} vs {e}",
+                    v.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cosh_matches_f64_reference() {
+        for c_exp in [2.0f32, 4.0] {
+            let mut tape = Tape::new();
+            let x = tape.constant(rows());
+            let p = cosh_project_rows(&mut tape, x, 1.0, c_exp);
+            let v = tape.value(p);
+            for r in 0..2 {
+                // Skip the zero row (apex): reference handles it exactly,
+                // the tape path via eps — checked separately below.
+                let input: Vec<f64> = rows().row(r).iter().map(|&f| f as f64).collect();
+                let expect = refproj::cosh_project(&input, 1.0, c_exp as f64);
+                for (c, e) in expect.coords().iter().enumerate() {
+                    assert!(
+                        (v.get(r, c) as f64 - e).abs() < 1e-4,
+                        "c={c_exp} row {r} col {c}: {} vs {e}",
+                        v.get(r, c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apex_row_is_near_apex() {
+        let mut tape = Tape::new();
+        let x = tape.constant(rows());
+        let p = cosh_project_rows(&mut tape, x, 1.0, 4.0);
+        let v = tape.value(p);
+        // Row 2 is the zero vector: x0 ≈ √β = 1, spatial ≈ 0.
+        assert!((v.get(2, 0) - 1.0).abs() < 1e-3);
+        assert!(v.get(2, 1).abs() < 1e-3);
+        assert!(v.get(2, 2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn projections_satisfy_membership() {
+        for (name, beta) in [("v", 1.0f32), ("v2", 2.0)] {
+            let _ = name;
+            let mut tape = Tape::new();
+            let x = tape.constant(rows());
+            let pv = vanilla_project_rows(&mut tape, x, beta);
+            let pc = cosh_project_rows(&mut tape, x, beta, 4.0);
+            for p in [pv, pc] {
+                let v = tape.value(p).clone();
+                for r in 0..2 {
+                    let row = v.row(r);
+                    let inner: f32 = -row[0] * row[0]
+                        + row[1..].iter().map(|a| a * a).sum::<f32>();
+                    assert!(
+                        (inner + beta).abs() < 1e-3,
+                        "⟨a,a⟩ = {inner} ≠ −{beta}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_differentiable() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::from_vec(1, 2, vec![0.7, -0.4]));
+        let p = cosh_project_rows(&mut tape, x, 1.0, 4.0);
+        let s = tape.sum_all(p);
+        tape.backward(s);
+        let g = tape.grad(x);
+        assert!(g.all_finite());
+        assert!(g.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn config_dispatch() {
+        let mut tape = Tape::new();
+        let x = tape.constant(rows());
+        let cfg = PluginConfig::paper_default();
+        let p = project_rows(&mut tape, x, &cfg);
+        assert_eq!(tape.value(p).shape(), (3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "no hyperbolic projection")]
+    fn original_variant_panics() {
+        let mut tape = Tape::new();
+        let x = tape.constant(rows());
+        let cfg = PluginConfig::paper_default().with_variant(PluginVariant::Original);
+        let _ = project_rows(&mut tape, x, &cfg);
+    }
+}

@@ -1,0 +1,299 @@
+//! Embedding storage and top-k retrieval with the fused distance.
+//!
+//! The paper's efficiency argument (its Table V) is that the plugin adds
+//! only O(d) work and a few extra vectors per trajectory on top of the
+//! pre-embedded database. [`EmbeddingStore`] makes that accounting
+//! explicit: Euclidean rows always, hyperbolic rows (`d+1`) when a Lorentz
+//! variant is active, factor rows (`2f`) when fusion is active, all in
+//! flat `f32` buffers. [`EmbeddingStore::knn`] is the brute-force scan the
+//! latency benches time.
+
+use crate::config::PluginVariant;
+use crate::distance::{alpha_f32, euclidean_f32, fused_f32, lorentz_f32};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Flat embedding storage for one trajectory collection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingStore {
+    dim: usize,
+    variant: PluginVariant,
+    beta: f32,
+    factor_dim: Option<usize>,
+    n: usize,
+    eu: Vec<f32>,
+    hyper: Vec<f32>,
+    factors: Vec<f32>,
+}
+
+/// One retrieval hit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrievalResult {
+    /// Database row index.
+    pub index: usize,
+    /// Model distance.
+    pub distance: f32,
+}
+
+impl EmbeddingStore {
+    /// Empty store for embeddings of width `dim`.
+    pub fn new(
+        dim: usize,
+        variant: PluginVariant,
+        beta: f32,
+        factor_dim: Option<usize>,
+    ) -> Self {
+        EmbeddingStore {
+            dim,
+            variant,
+            beta,
+            factor_dim: if variant.uses_fusion() { factor_dim } else { None },
+            n: 0,
+            eu: Vec::new(),
+            hyper: Vec::new(),
+            factors: Vec::new(),
+        }
+    }
+
+    /// Appends one trajectory's embeddings. `hyper` must be present iff
+    /// the variant is hyperbolic; `factors` iff fusion is active.
+    pub fn push(&mut self, eu: &[f32], hyper: Option<&[f32]>, factors: Option<&[f32]>) {
+        assert_eq!(eu.len(), self.dim, "euclidean width mismatch");
+        self.eu.extend_from_slice(eu);
+        if self.variant.uses_hyperbolic() {
+            let h = hyper.expect("hyperbolic row required for this variant");
+            assert_eq!(h.len(), self.dim + 1, "hyperbolic width mismatch");
+            self.hyper.extend_from_slice(h);
+        }
+        if let Some(f_dim) = self.factor_dim {
+            let f = factors.expect("factor row required for fusion variant");
+            assert_eq!(f.len(), 2 * f_dim, "factor width mismatch");
+            self.factors.extend_from_slice(f);
+        }
+        self.n += 1;
+    }
+
+    /// Number of stored trajectories.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Embedding width `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether hyperbolic rows are stored.
+    pub fn has_hyperbolic(&self) -> bool {
+        !self.hyper.is_empty() || (self.variant.uses_hyperbolic() && self.n == 0)
+    }
+
+    /// Whether factor rows are stored.
+    pub fn has_factors(&self) -> bool {
+        !self.factors.is_empty() || (self.factor_dim.is_some() && self.n == 0)
+    }
+
+    /// Euclidean embedding row `i`.
+    pub fn eu_row(&self, i: usize) -> &[f32] {
+        &self.eu[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Hyperbolic row `i` (panics when absent).
+    pub fn hyper_row(&self, i: usize) -> &[f32] {
+        let w = self.dim + 1;
+        &self.hyper[i * w..(i + 1) * w]
+    }
+
+    /// Factor row `i` (panics when absent).
+    pub fn factor_row(&self, i: usize) -> &[f32] {
+        let w = 2 * self.factor_dim.expect("factors absent");
+        &self.factors[i * w..(i + 1) * w]
+    }
+
+    /// Total payload bytes (the Table V memory metric).
+    pub fn payload_bytes(&self) -> usize {
+        (self.eu.len() + self.hyper.len() + self.factors.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Model distance between row `qi` of `queries` and row `di` of
+    /// `self`, per the active variant.
+    pub fn distance_from(&self, queries: &EmbeddingStore, qi: usize, di: usize) -> f32 {
+        debug_assert_eq!(self.variant, queries.variant);
+        match self.variant {
+            PluginVariant::Original => euclidean_f32(queries.eu_row(qi), self.eu_row(di)),
+            PluginVariant::LorentzVanilla | PluginVariant::LorentzCosh => {
+                lorentz_f32(queries.hyper_row(qi), self.hyper_row(di), self.beta)
+            }
+            PluginVariant::FusionDist => {
+                let f = self.factor_dim.expect("fusion factors present");
+                let qf = queries.factor_row(qi);
+                let df = self.factor_row(di);
+                let alpha = alpha_f32(&qf[..f], &df[..f], &qf[f..], &df[f..]);
+                let d_lo = lorentz_f32(queries.hyper_row(qi), self.hyper_row(di), self.beta);
+                let d_eu = euclidean_f32(queries.eu_row(qi), self.eu_row(di));
+                fused_f32(alpha, d_lo, d_eu)
+            }
+        }
+    }
+
+    /// Full distance row from query `qi` to every database row.
+    pub fn distance_row_from(&self, queries: &EmbeddingStore, qi: usize) -> Vec<f64> {
+        (0..self.n)
+            .map(|di| self.distance_from(queries, qi, di) as f64)
+            .collect()
+    }
+
+    /// Brute-force top-k retrieval for query row `qi` of `queries`.
+    pub fn knn(&self, queries: &EmbeddingStore, qi: usize, k: usize) -> Vec<RetrievalResult> {
+        let mut hits: Vec<RetrievalResult> = (0..self.n)
+            .map(|di| RetrievalResult {
+                index: di,
+                distance: self.distance_from(queries, qi, di),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// Compact binary serialization (length-prefixed little-endian f32s).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.payload_bytes() + 64);
+        buf.put_u64_le(self.n as u64);
+        buf.put_u64_le(self.dim as u64);
+        buf.put_u8(match self.variant {
+            PluginVariant::Original => 0,
+            PluginVariant::LorentzVanilla => 1,
+            PluginVariant::LorentzCosh => 2,
+            PluginVariant::FusionDist => 3,
+        });
+        buf.put_f32_le(self.beta);
+        buf.put_u64_le(self.factor_dim.unwrap_or(0) as u64);
+        for chunk in [&self.eu, &self.hyper, &self.factors] {
+            buf.put_u64_le(chunk.len() as u64);
+            for &v in chunk.iter() {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Inverse of [`EmbeddingStore::to_bytes`].
+    pub fn from_bytes(mut data: Bytes) -> Self {
+        let n = data.get_u64_le() as usize;
+        let dim = data.get_u64_le() as usize;
+        let variant = match data.get_u8() {
+            0 => PluginVariant::Original,
+            1 => PluginVariant::LorentzVanilla,
+            2 => PluginVariant::LorentzCosh,
+            _ => PluginVariant::FusionDist,
+        };
+        let beta = data.get_f32_le();
+        let fd = data.get_u64_le() as usize;
+        let mut parts: [Vec<f32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for part in &mut parts {
+            let len = data.get_u64_le() as usize;
+            part.reserve(len);
+            for _ in 0..len {
+                part.push(data.get_f32_le());
+            }
+        }
+        let [eu, hyper, factors] = parts;
+        EmbeddingStore {
+            dim,
+            variant,
+            beta,
+            factor_dim: if fd == 0 { None } else { Some(fd) },
+            n,
+            eu,
+            hyper,
+            factors,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::approx_constant)] // the test rows intentionally lie on H(1): x0 = √(‖x‖²+1)
+    fn store_with_rows(variant: PluginVariant) -> EmbeddingStore {
+        let mut s = EmbeddingStore::new(2, variant, 1.0, Some(2));
+        let rows: [( [f32; 2], [f32; 3], [f32; 4]); 3] = [
+            ([0.0, 0.0], [1.0, 0.0, 0.0], [1.0, 1.0, 1.0, 1.0]),
+            ([1.0, 0.0], [1.41421, 1.0, 0.0], [2.0, 1.0, 0.5, 0.5]),
+            ([0.0, 3.0], [3.16228, 0.0, 3.0], [0.5, 0.5, 2.0, 2.0]),
+        ];
+        for (eu, hy, f) in rows {
+            let hyper = variant.uses_hyperbolic().then_some(&hy[..]);
+            let factors = variant.uses_fusion().then_some(&f[..]);
+            s.push(&eu, hyper, factors);
+        }
+        s
+    }
+
+    #[test]
+    fn knn_euclidean_orders_correctly() {
+        let s = store_with_rows(PluginVariant::Original);
+        let hits = s.knn(&s, 0, 2);
+        assert_eq!(hits[0].index, 0); // itself at distance 0
+        assert_eq!(hits[1].index, 1); // (1,0) closer than (0,3)
+        assert!(hits[1].distance > hits[0].distance);
+    }
+
+    #[test]
+    fn variant_changes_distances() {
+        let eu = store_with_rows(PluginVariant::Original);
+        let fu = store_with_rows(PluginVariant::FusionDist);
+        let d_eu = eu.distance_from(&eu, 0, 2);
+        let d_fu = fu.distance_from(&fu, 0, 2);
+        assert!((d_eu - 3.0).abs() < 1e-5);
+        assert_ne!(d_eu, d_fu);
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let eu = store_with_rows(PluginVariant::Original);
+        let lo = store_with_rows(PluginVariant::LorentzCosh);
+        let fu = store_with_rows(PluginVariant::FusionDist);
+        assert_eq!(eu.payload_bytes(), 3 * 2 * 4);
+        assert_eq!(lo.payload_bytes(), 3 * (2 + 3) * 4);
+        assert_eq!(fu.payload_bytes(), 3 * (2 + 3 + 4) * 4);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        for variant in PluginVariant::ABLATION {
+            let s = store_with_rows(variant);
+            let b = s.to_bytes();
+            let back = EmbeddingStore::from_bytes(b);
+            assert_eq!(back, s, "{}", variant.name());
+        }
+    }
+
+    #[test]
+    fn distance_row_matches_pointwise() {
+        let s = store_with_rows(PluginVariant::FusionDist);
+        let row = s.distance_row_from(&s, 1);
+        for (di, &d) in row.iter().enumerate() {
+            assert!((d - s.distance_from(&s, 1, di) as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "euclidean width mismatch")]
+    fn push_validates_width() {
+        let mut s = EmbeddingStore::new(3, PluginVariant::Original, 1.0, None);
+        s.push(&[1.0, 2.0], None, None);
+    }
+}

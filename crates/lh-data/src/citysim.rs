@@ -1,0 +1,334 @@
+//! City road-grid trajectory simulator.
+//!
+//! The model is a Manhattan-style road grid with a few traffic hotspots.
+//! A trip starts near a hotspot, walks along grid roads with directional
+//! momentum (vehicles rarely U-turn), and is sampled at a fixed interval
+//! with Gaussian GPS noise. This reproduces the statistical features that
+//! matter for similarity learning: piecewise-straight motion, shared road
+//! segments across trips, heavy route reuse near hotspots, and
+//! sensor-level jitter.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use traj_core::{Point, Trajectory};
+
+/// Simulation parameters; build with [`CityModelBuilder`].
+#[derive(Debug, Clone)]
+pub struct CityModel {
+    /// City half-extent in meters: roads span `[-extent, extent]²`.
+    pub extent: f64,
+    /// Road spacing in meters (grid pitch).
+    pub block: f64,
+    /// Mean vehicle speed in m/s.
+    pub speed: f64,
+    /// GPS sampling interval in seconds.
+    pub sample_interval: f64,
+    /// Std-dev of Gaussian GPS noise in meters.
+    pub gps_noise: f64,
+    /// Probability of turning at an intersection.
+    pub turn_prob: f64,
+    /// Traffic hotspot centers (trip origins cluster here).
+    pub hotspots: Vec<(f64, f64)>,
+    /// Whether emitted points carry timestamps.
+    pub timestamped: bool,
+}
+
+/// Builder for [`CityModel`] with sane urban defaults.
+#[derive(Debug, Clone)]
+pub struct CityModelBuilder {
+    model: CityModel,
+}
+
+impl Default for CityModelBuilder {
+    fn default() -> Self {
+        CityModelBuilder {
+            model: CityModel {
+                extent: 10_000.0,
+                block: 250.0,
+                speed: 11.0,
+                sample_interval: 10.0,
+                gps_noise: 8.0,
+                turn_prob: 0.3,
+                hotspots: vec![(0.0, 0.0), (4000.0, 3000.0), (-5000.0, 2000.0)],
+                timestamped: false,
+            },
+        }
+    }
+}
+
+impl CityModelBuilder {
+    /// Starts from defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the half-extent (meters).
+    pub fn extent(mut self, extent: f64) -> Self {
+        self.model.extent = extent;
+        self
+    }
+
+    /// Sets the road-grid pitch (meters).
+    pub fn block(mut self, block: f64) -> Self {
+        self.model.block = block;
+        self
+    }
+
+    /// Sets mean speed (m/s).
+    pub fn speed(mut self, speed: f64) -> Self {
+        self.model.speed = speed;
+        self
+    }
+
+    /// Sets GPS sampling interval (seconds).
+    pub fn sample_interval(mut self, s: f64) -> Self {
+        self.model.sample_interval = s;
+        self
+    }
+
+    /// Sets GPS noise σ (meters).
+    pub fn gps_noise(mut self, s: f64) -> Self {
+        self.model.gps_noise = s;
+        self
+    }
+
+    /// Sets the intersection turn probability.
+    pub fn turn_prob(mut self, p: f64) -> Self {
+        self.model.turn_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Replaces the hotspot list.
+    pub fn hotspots(mut self, h: Vec<(f64, f64)>) -> Self {
+        self.model.hotspots = h;
+        self
+    }
+
+    /// Toggles timestamps on emitted points.
+    pub fn timestamped(mut self, yes: bool) -> Self {
+        self.model.timestamped = yes;
+        self
+    }
+
+    /// Finalizes the model.
+    pub fn build(self) -> CityModel {
+        self.model
+    }
+}
+
+/// Standard normal sample via Box–Muller (keeps us off rand_distr).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl CityModel {
+    /// Generates one route (the noiseless road path) of roughly
+    /// `num_points` samples, as the underlying clean polyline.
+    pub fn route(&self, rng: &mut StdRng, num_points: usize) -> Vec<Point> {
+        let num_points = num_points.max(2);
+        // Start at a road node near a hotspot.
+        let &(hx, hy) = &self.hotspots[rng.gen_range(0..self.hotspots.len().max(1))];
+        let jitter = self.extent * 0.15;
+        let snap = |v: f64| (v / self.block).round() * self.block;
+        let mut x = snap((hx + gaussian(rng) * jitter).clamp(-self.extent, self.extent));
+        let mut y = snap((hy + gaussian(rng) * jitter).clamp(-self.extent, self.extent));
+
+        // Direction: 0=+x, 1=+y, 2=−x, 3=−y.
+        let mut dir = rng.gen_range(0..4u8);
+        let step = self.speed * self.sample_interval;
+        let mut pts = Vec::with_capacity(num_points);
+        let mut t = 0.0;
+        let mut along = 0.0; // distance traveled since last intersection
+        for _ in 0..num_points {
+            pts.push(if self.timestamped {
+                Point::with_time(x, y, t)
+            } else {
+                Point::new(x, y)
+            });
+            // Advance along the current road.
+            let (dx, dy) = match dir {
+                0 => (step, 0.0),
+                1 => (0.0, step),
+                2 => (-step, 0.0),
+                _ => (0.0, -step),
+            };
+            x += dx;
+            y += dy;
+            along += step;
+            t += self.sample_interval;
+            // At intersections, maybe turn left/right (never U-turn).
+            if along >= self.block {
+                along = 0.0;
+                if rng.gen_bool(self.turn_prob) {
+                    let left = rng.gen_bool(0.5);
+                    dir = if left { (dir + 1) % 4 } else { (dir + 3) % 4 };
+                }
+            }
+            // Bounce off the city boundary.
+            if x.abs() > self.extent {
+                x = x.clamp(-self.extent, self.extent);
+                dir = if x > 0.0 { 2 } else { 0 };
+            }
+            if y.abs() > self.extent {
+                y = y.clamp(-self.extent, self.extent);
+                dir = if y > 0.0 { 3 } else { 1 };
+            }
+        }
+        pts
+    }
+
+    /// Emits a noisy GPS observation of a clean route.
+    pub fn observe(&self, rng: &mut StdRng, route: &[Point]) -> Trajectory {
+        let pts: Vec<Point> = route
+            .iter()
+            .map(|p| Point {
+                x: p.x + gaussian(rng) * self.gps_noise,
+                y: p.y + gaussian(rng) * self.gps_noise,
+                t: p.t,
+            })
+            .collect();
+        Trajectory::new(pts).expect("simulator emits valid trajectories")
+    }
+
+    /// Generates a full trajectory in one call (route + observation).
+    pub fn trajectory(&self, rng: &mut StdRng, num_points: usize) -> Trajectory {
+        let route = self.route(rng, num_points);
+        self.observe(rng, &route)
+    }
+
+    /// Composes a route that travels corridor `a`, takes a Manhattan
+    /// connector, then travels corridor `b` — the "bridge trip" pattern of
+    /// real traffic (trips share arterial corridors and diverge). The
+    /// composed polyline is resampled to `num_points` and re-timestamped
+    /// at the model's sampling interval. Bridge trips are what give
+    /// edit-based measures (EDR) their mid-range distances and hence their
+    /// triangle violations.
+    pub fn compose(&self, a: &[Point], b: &[Point], num_points: usize) -> Vec<Point> {
+        debug_assert!(!a.is_empty() && !b.is_empty());
+        let mut pts: Vec<Point> = a.iter().map(|p| Point::new(p.x, p.y)).collect();
+        let (sx, sy) = (a[a.len() - 1].x, a[a.len() - 1].y);
+        let (tx, ty) = (b[0].x, b[0].y);
+        // L-shaped connector along the grid: x first, then y.
+        let step = (self.speed * self.sample_interval).max(1e-9);
+        let mut cx = sx;
+        while (tx - cx).abs() > step {
+            cx += step * (tx - cx).signum();
+            pts.push(Point::new(cx, sy));
+        }
+        let mut cy = sy;
+        while (ty - cy).abs() > step {
+            cy += step * (ty - cy).signum();
+            pts.push(Point::new(tx, cy));
+        }
+        pts.extend(b.iter().map(|p| Point::new(p.x, p.y)));
+        // Truncate to the requested length — never resample: corridor
+        // points must keep their exact sampling phase so that two trips
+        // sharing a corridor can actually match point-for-point under
+        // tolerance measures (EDR/LCSS).
+        pts.truncate(num_points.max(2));
+        pts.iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if self.timestamped {
+                    Point::with_time(p.x, p.y, i as f64 * self.sample_interval)
+                } else {
+                    Point::new(p.x, p.y)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn model() -> CityModel {
+        CityModelBuilder::new().build()
+    }
+
+    #[test]
+    fn route_length_and_bounds() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = m.route(&mut rng, 50);
+        assert_eq!(r.len(), 50);
+        for p in &r {
+            assert!(p.x.abs() <= m.extent + 1e-9);
+            assert!(p.y.abs() <= m.extent + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let m = model();
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        assert_eq!(m.trajectory(&mut r1, 30), m.trajectory(&mut r2, 30));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let m = model();
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        assert_ne!(m.trajectory(&mut r1, 30), m.trajectory(&mut r2, 30));
+    }
+
+    #[test]
+    fn timestamps_increase_when_enabled() {
+        let m = CityModelBuilder::new().timestamped(true).build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = m.trajectory(&mut rng, 20);
+        assert!(t.is_timestamped());
+        let pts = t.points();
+        for w in pts.windows(2) {
+            assert!(w[1].t.unwrap() > w[0].t.unwrap());
+        }
+    }
+
+    #[test]
+    fn observation_noise_is_bounded_in_probability() {
+        let m = CityModelBuilder::new().gps_noise(5.0).build();
+        let mut rng = StdRng::seed_from_u64(11);
+        let route = m.route(&mut rng, 200);
+        let obs = m.observe(&mut rng, &route);
+        let mean_err: f64 = route
+            .iter()
+            .zip(obs.points())
+            .map(|(a, b)| a.dist(b))
+            .sum::<f64>()
+            / route.len() as f64;
+        // Mean |N(0,5)²| displacement ≈ 6.27 m; allow generous slack.
+        assert!(mean_err > 1.0 && mean_err < 20.0, "mean_err={mean_err}");
+    }
+
+    #[test]
+    fn zero_noise_observation_is_exact() {
+        let m = CityModelBuilder::new().gps_noise(0.0).build();
+        let mut rng = StdRng::seed_from_u64(5);
+        let route = m.route(&mut rng, 10);
+        let obs = m.observe(&mut rng, &route);
+        for (a, b) in route.iter().zip(obs.points()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn movement_is_axis_aligned_on_clean_routes() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(9);
+        let r = m.route(&mut rng, 40);
+        for w in r.windows(2) {
+            let dx = (w[1].x - w[0].x).abs();
+            let dy = (w[1].y - w[0].y).abs();
+            assert!(
+                dx < 1e-9 || dy < 1e-9,
+                "clean routes move along one axis per step"
+            );
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Dataset (de)serialization.
+//!
+//! Experiments persist their generated datasets and results as JSON so runs
+//! are auditable and re-usable across binaries without regeneration.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use traj_core::TrajectoryDataset;
+
+/// Saves a dataset as pretty-printed JSON.
+pub fn save_dataset(path: &Path, dataset: &TrajectoryDataset) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string(dataset).map_err(io::Error::other)?;
+    fs::write(path, json)
+}
+
+/// Loads a dataset saved by [`save_dataset`].
+pub fn load_dataset(path: &Path) -> io::Result<TrajectoryDataset> {
+    let json = fs::read_to_string(path)?;
+    serde_json::from_str(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{generate, DatasetPreset};
+
+    #[test]
+    fn roundtrip() {
+        let d = generate(DatasetPreset::Smoke, 12, 1);
+        let dir = std::env::temp_dir().join("lh-data-io-test");
+        let path = dir.join("smoke.json");
+        save_dataset(&path, &d).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back.len(), d.len());
+        assert_eq!(back.trajectories(), d.trajectories());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_fails() {
+        assert!(load_dataset(Path::new("/nonexistent/x.json")).is_err());
+    }
+}

@@ -1,0 +1,133 @@
+//! Perturbation utilities for building route variants.
+//!
+//! Real datasets contain many observations of the same physical route:
+//! different vehicles, sampling phases, and sensors. These helpers derive
+//! such variants from a clean route, which is what makes top-k similarity
+//! queries on the synthetic data meaningful.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use traj_core::{Point, Trajectory};
+
+/// Standard normal sample via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Adds isotropic Gaussian jitter of σ `sigma` to every point.
+pub fn jitter(rng: &mut StdRng, t: &Trajectory, sigma: f64) -> Trajectory {
+    let pts: Vec<Point> = t
+        .points()
+        .iter()
+        .map(|p| Point {
+            x: p.x + gaussian(rng) * sigma,
+            y: p.y + gaussian(rng) * sigma,
+            t: p.t,
+        })
+        .collect();
+    Trajectory::new(pts).expect("jitter preserves validity")
+}
+
+/// Randomly drops interior points with probability `p` (first/last kept),
+/// simulating GPS outages.
+pub fn dropout(rng: &mut StdRng, t: &Trajectory, p: f64) -> Trajectory {
+    let pts = t.points();
+    if pts.len() <= 2 {
+        return t.clone();
+    }
+    let mut out = Vec::with_capacity(pts.len());
+    out.push(pts[0]);
+    for pt in &pts[1..pts.len() - 1] {
+        if !rng.gen_bool(p.clamp(0.0, 1.0)) {
+            out.push(*pt);
+        }
+    }
+    out.push(pts[pts.len() - 1]);
+    Trajectory::new(out).expect("dropout preserves validity")
+}
+
+/// Shifts all timestamps by `dt` seconds (no-op for untimestamped data).
+pub fn time_shift(t: &Trajectory, dt: f64) -> Trajectory {
+    let pts: Vec<Point> = t
+        .points()
+        .iter()
+        .map(|p| Point {
+            x: p.x,
+            y: p.y,
+            t: p.t.map(|v| v + dt),
+        })
+        .collect();
+    Trajectory::new(pts).expect("time shift preserves validity")
+}
+
+/// A random route variant: jitter + mild dropout + (for timestamped data) a
+/// random phase shift. `scale` is the city's GPS noise σ in meters.
+pub fn route_variant(rng: &mut StdRng, t: &Trajectory, scale: f64) -> Trajectory {
+    let jittered = jitter(rng, t, scale);
+    let dropped = dropout(rng, &jittered, 0.08);
+    if dropped.is_timestamped() {
+        let dt = rng.gen_range(0.0..120.0);
+        time_shift(&dropped, dt)
+    } else {
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn base() -> Trajectory {
+        Trajectory::from_xy(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0), (40.0, 0.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn jitter_moves_points_but_keeps_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let j = jitter(&mut rng, &base(), 1.0);
+        assert_eq!(j.len(), 5);
+        assert_ne!(j, base());
+    }
+
+    #[test]
+    fn jitter_zero_sigma_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(jitter(&mut rng, &base(), 0.0), base());
+    }
+
+    #[test]
+    fn dropout_keeps_endpoints() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = dropout(&mut rng, &base(), 0.9);
+        assert_eq!(d[0], base()[0]);
+        assert_eq!(d[d.len() - 1], base()[4]);
+        assert!(d.len() >= 2);
+    }
+
+    #[test]
+    fn dropout_zero_prob_is_identity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(dropout(&mut rng, &base(), 0.0), base());
+    }
+
+    #[test]
+    fn time_shift_moves_all_timestamps() {
+        let t = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (1.0, 0.0, 10.0)]).unwrap();
+        let s = time_shift(&t, 5.0);
+        assert_eq!(s.points()[0].t, Some(5.0));
+        assert_eq!(s.points()[1].t, Some(15.0));
+    }
+
+    #[test]
+    fn variant_is_similar_but_not_identical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = route_variant(&mut rng, &base(), 0.5);
+        assert_ne!(v, base());
+        // Endpooints stay within a few σ.
+        assert!(v[0].dist(&base()[0]) < 5.0);
+    }
+}

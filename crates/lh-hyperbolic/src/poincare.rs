@@ -1,0 +1,100 @@
+//! Lorentz ↔ Poincaré-ball model conversions.
+//!
+//! The paper's related-work section contrasts its Lorentz formulation with
+//! the Poincaré-ball approaches of Ganea et al.; these conversions make
+//! that comparison concrete and let downstream users visualize hyperbolic
+//! embeddings inside the unit ball. Both models describe the same space:
+//! the diffeomorphism (for curvature parameter β)
+//!
+//! `poincare(a) = a_spatial / (a₀ + √β)` and back
+//! `lorentz(y) = √β · ((1+‖y‖²), 2y) / (1−‖y‖²)`
+//!
+//! preserves geodesic distances, which the tests verify.
+
+use crate::lorentz::HyperbolicPoint;
+
+/// Converts a Lorentz-model point to Poincaré-ball coordinates
+/// (`n` values with norm < 1).
+pub fn to_poincare(p: &HyperbolicPoint) -> Vec<f64> {
+    let c = p.coords();
+    let denom = c[0] + p.beta().sqrt();
+    c[1..].iter().map(|v| v / denom).collect()
+}
+
+/// Converts Poincaré-ball coordinates (norm < 1) back to the Lorentz model
+/// on `H(β)`.
+pub fn from_poincare(y: &[f64], beta: f64) -> HyperbolicPoint {
+    let norm_sq: f64 = y.iter().map(|v| v * v).sum();
+    assert!(norm_sq < 1.0, "Poincaré coordinates must lie in the unit ball");
+    let sqrt_beta = beta.sqrt();
+    let scale = sqrt_beta / (1.0 - norm_sq);
+    let mut coords = Vec::with_capacity(y.len() + 1);
+    coords.push(scale * (1.0 + norm_sq));
+    coords.extend(y.iter().map(|v| 2.0 * scale * v));
+    HyperbolicPoint::new_unchecked(coords, beta)
+}
+
+/// Poincaré-ball geodesic distance (the standard arcosh formula), provided
+/// for cross-checking the Lorentz geodesic.
+pub fn poincare_distance(a: &[f64], b: &[f64], beta: f64) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let na: f64 = a.iter().map(|v| v * v).sum();
+    let nb: f64 = b.iter().map(|v| v * v).sum();
+    let diff: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    let arg = 1.0 + 2.0 * diff / ((1.0 - na) * (1.0 - nb));
+    beta.sqrt() * arg.max(1.0).acosh()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lorentz::HyperbolicPoint;
+
+    #[test]
+    fn roundtrip_identity() {
+        for beta in [0.5, 1.0, 2.0] {
+            let p = HyperbolicPoint::from_spatial(&[0.7, -1.2, 0.3], beta);
+            let y = to_poincare(&p);
+            let back = from_poincare(&y, beta);
+            for (a, b) in p.coords().iter().zip(back.coords()) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b} at β={beta}");
+            }
+        }
+    }
+
+    #[test]
+    fn ball_membership() {
+        let p = HyperbolicPoint::from_spatial(&[5.0, -3.0], 1.0);
+        let y = to_poincare(&p);
+        let norm: f64 = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(norm < 1.0, "Poincaré image must be in the unit ball");
+    }
+
+    #[test]
+    fn apex_maps_to_origin() {
+        let apex = HyperbolicPoint::from_spatial(&[0.0, 0.0], 1.0);
+        let y = to_poincare(&apex);
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn geodesic_distances_agree_across_models() {
+        for beta in [0.5, 1.0, 2.0] {
+            let p = HyperbolicPoint::from_spatial(&[0.4, 0.9], beta);
+            let q = HyperbolicPoint::from_spatial(&[-1.0, 0.2], beta);
+            let lorentz_d = p.geodesic_distance(&q);
+            let poincare_d =
+                poincare_distance(&to_poincare(&p), &to_poincare(&q), beta);
+            assert!(
+                (lorentz_d - poincare_d).abs() < 1e-9,
+                "β={beta}: {lorentz_d} vs {poincare_d}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unit ball")]
+    fn rejects_out_of_ball() {
+        let _ = from_poincare(&[0.9, 0.9], 1.0);
+    }
+}

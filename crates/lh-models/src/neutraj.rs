@@ -1,0 +1,185 @@
+//! Neutraj-style encoder: grid-cell embeddings + recurrent aggregation.
+//!
+//! Structure preserved from the original (Yao et al., ICDE'19): the city is
+//! partitioned into uniform grid cells; each point contributes its raw
+//! coordinates plus a learned cell embedding, and a GRU aggregates the
+//! sequence. Simplification (documented per DESIGN.md): the original's
+//! spatial-memory attention over neighboring cells is replaced by the cell
+//! embedding table itself — the neighbor table is still available from
+//! [`traj_core::UniformGrid::neighbors`] and is exercised by the tests.
+
+use crate::features::{batch_steps, point_features, SPATIAL_DIM};
+use crate::traits::{EncoderConfig, TrajectoryEncoder};
+use lh_nn::layers::{Embedding, GruCell, Linear};
+use lh_nn::{ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+use traj_core::{Trajectory, TrajectoryDataset, UniformGrid};
+
+/// Grid-cell + GRU encoder.
+pub struct NeutrajEncoder {
+    grid: UniformGrid,
+    cell_emb: Embedding,
+    gru: GruCell,
+    head: Linear,
+    embed_dim: usize,
+}
+
+impl NeutrajEncoder {
+    /// Fits the grid on the dataset bbox and registers parameters.
+    pub fn new(
+        config: EncoderConfig,
+        dataset: &TrajectoryDataset,
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+    ) -> Self {
+        let grid = UniformGrid::over(dataset.bbox(), config.grid_resolution)
+            .expect("dataset bbox must be non-degenerate");
+        let cell_dim = 8usize;
+        let cell_emb = Embedding::new("neutraj.cell", grid.num_cells(), cell_dim, store, rng);
+        let gru = GruCell::new(
+            "neutraj.gru",
+            SPATIAL_DIM + cell_dim,
+            config.hidden_dim,
+            store,
+            rng,
+        );
+        let head = Linear::new(
+            "neutraj.head",
+            config.hidden_dim,
+            config.embed_dim,
+            store,
+            rng,
+        );
+        NeutrajEncoder {
+            grid,
+            cell_emb,
+            gru,
+            head,
+            embed_dim: config.embed_dim,
+        }
+    }
+
+    /// The fitted grid (exposed for inspection/tests).
+    pub fn grid(&self) -> &UniformGrid {
+        &self.grid
+    }
+}
+
+impl TrajectoryEncoder for NeutrajEncoder {
+    fn name(&self) -> &'static str {
+        "neutraj"
+    }
+
+    fn output_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    fn encode_batch(&self, tape: &mut Tape, store: &ParamStore, trajs: &[&Trajectory]) -> Var {
+        assert!(!trajs.is_empty(), "empty batch");
+        let seqs: Vec<_> = trajs.iter().map(|t| point_features(t)).collect();
+        let (spatial_steps, masks) = batch_steps(tape, &seqs, (0, SPATIAL_DIM));
+        let max_len = spatial_steps.len();
+
+        // Per-step cell-embedding lookups: out-of-length slots reuse cell 0
+        // and are masked away by the GRU.
+        let cell_seqs: Vec<Vec<usize>> = trajs.iter().map(|t| self.grid.cell_sequence(t)).collect();
+        let mut steps = Vec::with_capacity(max_len);
+        for (t, &sp) in spatial_steps.iter().enumerate() {
+            let ids: Vec<usize> = cell_seqs
+                .iter()
+                .map(|cs| cs.get(t).copied().unwrap_or(0))
+                .collect();
+            let ce = self.cell_emb.forward(tape, store, &ids);
+            steps.push(tape.concat_cols(sp, ce));
+        }
+        let h = self.gru.forward_sequence(tape, store, &steps, &masks);
+        self.head.forward(tape, store, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use traj_core::normalize::Normalizer;
+
+    fn toy_dataset() -> TrajectoryDataset {
+        let trajs = vec![
+            Trajectory::from_xy(&[(0.0, 0.0), (10.0, 5.0), (20.0, 10.0)]).unwrap(),
+            Trajectory::from_xy(&[(5.0, 20.0), (15.0, 15.0)]).unwrap(),
+            Trajectory::from_xy(&[(0.0, 20.0), (20.0, 0.0), (10.0, 10.0), (0.0, 0.0)]).unwrap(),
+        ];
+        let ds = TrajectoryDataset::new("toy", trajs);
+        let n = Normalizer::fit(&ds).unwrap();
+        n.dataset(&ds)
+    }
+
+    fn build() -> (ParamStore, NeutrajEncoder, TrajectoryDataset) {
+        let ds = toy_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let enc = NeutrajEncoder::new(EncoderConfig::default(), &ds, &mut store, &mut rng);
+        (store, enc, ds)
+    }
+
+    #[test]
+    fn output_shape() {
+        let (store, enc, ds) = build();
+        let mut tape = Tape::new();
+        let refs: Vec<&Trajectory> = ds.trajectories().iter().collect();
+        let out = enc.encode_batch(&mut tape, &store, &refs);
+        assert_eq!(tape.value(out).shape(), (3, 16));
+        assert!(tape.value(out).all_finite());
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (store, enc, ds) = build();
+        let refs: Vec<&Trajectory> = ds.trajectories().iter().collect();
+        let mut tape = Tape::new();
+        let batch = enc.encode_batch(&mut tape, &store, &refs);
+        let batched_row0 = tape.value(batch).row(0).to_vec();
+
+        let mut tape1 = Tape::new();
+        let single = enc.encode_batch(&mut tape1, &store, &refs[..1]);
+        for (a, b) in tape1.value(single).row(0).iter().zip(&batched_row0) {
+            assert!((a - b).abs() < 1e-5, "batch/single mismatch");
+        }
+    }
+
+    #[test]
+    fn different_trajectories_embed_differently() {
+        let (store, enc, ds) = build();
+        let refs: Vec<&Trajectory> = ds.trajectories().iter().collect();
+        let mut tape = Tape::new();
+        let out = enc.encode_batch(&mut tape, &store, &refs);
+        let v = tape.value(out);
+        let d01: f32 = v
+            .row(0)
+            .iter()
+            .zip(v.row(1))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d01 > 1e-4, "distinct inputs must not collide at init");
+    }
+
+    #[test]
+    fn grid_is_fitted_to_dataset() {
+        let (_, enc, ds) = build();
+        // Every normalized point maps into the grid.
+        for t in ds.trajectories() {
+            for cell in enc.grid().cell_sequence(t) {
+                assert!(cell < enc.grid().num_cells());
+            }
+        }
+        // Neighbor table (the structure the original attends over) works.
+        assert!(!enc.grid().neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn name_and_dim() {
+        let (_, enc, _) = build();
+        assert_eq!(enc.name(), "neutraj");
+        assert_eq!(enc.output_dim(), 16);
+    }
+}

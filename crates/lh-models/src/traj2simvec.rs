@@ -1,0 +1,146 @@
+//! Traj2SimVec-style encoder: LSTM with sub-trajectory robustness.
+//!
+//! Structure preserved from the original (Zhang et al., IJCAI'20): an LSTM
+//! over point features with supervision designed around sub-trajectories.
+//! Simplification: instead of the original's sub-trajectory distance
+//! supervision (which needs ground-truth distances over all prefixes), the
+//! encoder exposes [`Traj2SimVecEncoder::encode_prefixes`] so the trainer
+//! can tie prefix embeddings to full-trajectory embeddings — the same
+//! regularization pressure (stability of the representation under
+//! truncation) without an extra O(N²·L) oracle pass.
+
+use crate::features::{batch_steps, point_features, SPATIAL_DIM};
+use crate::traits::{EncoderConfig, TrajectoryEncoder};
+use lh_nn::layers::{Linear, LstmCell};
+use lh_nn::{ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+use traj_core::Trajectory;
+
+/// LSTM + sub-trajectory encoder.
+pub struct Traj2SimVecEncoder {
+    lstm: LstmCell,
+    head: Linear,
+    embed_dim: usize,
+}
+
+impl Traj2SimVecEncoder {
+    /// Registers parameters.
+    pub fn new(config: EncoderConfig, store: &mut ParamStore, rng: &mut StdRng) -> Self {
+        let lstm = LstmCell::new(
+            "t2sv.lstm",
+            SPATIAL_DIM,
+            config.hidden_dim,
+            store,
+            rng,
+        );
+        let head = Linear::new("t2sv.head", config.hidden_dim, config.embed_dim, store, rng);
+        Traj2SimVecEncoder {
+            lstm,
+            head,
+            embed_dim: config.embed_dim,
+        }
+    }
+
+    /// Encodes the half-length prefixes of a batch (the sub-trajectory
+    /// auxiliary signal).
+    pub fn encode_prefixes(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        trajs: &[&Trajectory],
+    ) -> Var {
+        let prefixes: Vec<Trajectory> = trajs
+            .iter()
+            .map(|t| t.prefix((t.len() / 2).max(1)))
+            .collect();
+        let refs: Vec<&Trajectory> = prefixes.iter().collect();
+        self.encode_batch(tape, store, &refs)
+    }
+}
+
+impl TrajectoryEncoder for Traj2SimVecEncoder {
+    fn name(&self) -> &'static str {
+        "traj2simvec"
+    }
+
+    fn output_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    fn encode_batch(&self, tape: &mut Tape, store: &ParamStore, trajs: &[&Trajectory]) -> Var {
+        assert!(!trajs.is_empty(), "empty batch");
+        let seqs: Vec<_> = trajs.iter().map(|t| point_features(t)).collect();
+        let (steps, masks) = batch_steps(tape, &seqs, (0, SPATIAL_DIM));
+        let h = self.lstm.forward_sequence(tape, store, &steps, &masks);
+        self.head.forward(tape, store, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use rand::SeedableRng;
+
+    fn build() -> (ParamStore, Traj2SimVecEncoder) {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let enc = Traj2SimVecEncoder::new(EncoderConfig::default(), &mut store, &mut rng);
+        (store, enc)
+    }
+
+    fn trajs() -> Vec<Trajectory> {
+        vec![
+            Trajectory::from_xy(&[(0.1, 0.1), (0.2, 0.3), (0.4, 0.4), (0.6, 0.5)]).unwrap(),
+            Trajectory::from_xy(&[(0.9, 0.9), (0.8, 0.7)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn shapes() {
+        let (store, enc) = build();
+        let ts = trajs();
+        let refs: Vec<&Trajectory> = ts.iter().collect();
+        let mut tape = Tape::new();
+        let out = enc.encode_batch(&mut tape, &store, &refs);
+        assert_eq!(tape.value(out).shape(), (2, 16));
+    }
+
+    #[test]
+    fn prefix_embedding_shapes_match() {
+        let (store, enc) = build();
+        let ts = trajs();
+        let refs: Vec<&Trajectory> = ts.iter().collect();
+        let mut tape = Tape::new();
+        let full = enc.encode_batch(&mut tape, &store, &refs);
+        let pre = enc.encode_prefixes(&mut tape, &store, &refs);
+        assert_eq!(tape.value(full).shape(), tape.value(pre).shape());
+    }
+
+    #[test]
+    fn prefix_differs_from_full_for_long_trajectories() {
+        let (store, enc) = build();
+        let ts = trajs();
+        let refs = vec![&ts[0]];
+        let mut tape = Tape::new();
+        let full = enc.encode_batch(&mut tape, &store, &refs);
+        let pre = enc.encode_prefixes(&mut tape, &store, &refs);
+        let d: f32 = tape
+            .value(full)
+            .row(0)
+            .iter()
+            .zip(tape.value(pre).row(0))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(d > 1e-5, "prefix must change the embedding");
+    }
+
+    #[test]
+    fn single_point_trajectory_encodes() {
+        let (store, enc) = build();
+        let t = Trajectory::from_xy(&[(0.5, 0.5)]).unwrap();
+        let mut tape = Tape::new();
+        let out = enc.encode_batch(&mut tape, &store, &[&t]);
+        assert!(tape.value(out).all_finite());
+    }
+}

@@ -1,0 +1,260 @@
+//! TrajGAT-style encoder: quadtree topology + graph attention.
+//!
+//! Structure preserved from the original (Yao et al., KDD'22): a quadtree
+//! over the city is pre-built; each trajectory becomes a graph whose nodes
+//! are its points plus the quadtree ancestors of the cells they fall in,
+//! and graph-attention layers propagate over (point→point sequence edges,
+//! point→leaf membership edges, child→parent tree edges). The trajectory
+//! embedding mean-pools the *point* nodes. Simplifications: 2 GAT layers
+//! with a single head (the original uses multi-head transformers) and a
+//! depth-capped tree — both keep the graph small enough for CPU tapes.
+
+use crate::features::point_features;
+use crate::traits::{EncoderConfig, TrajectoryEncoder};
+use lh_nn::layers::{GatLayer, Linear};
+use lh_nn::{ParamStore, Tape, Tensor, Var};
+use rand::rngs::StdRng;
+use traj_core::{Point, QuadTree, QuadTreeConfig, Trajectory, TrajectoryDataset};
+
+/// Quadtree + GAT encoder.
+pub struct TrajGatEncoder {
+    tree: QuadTree,
+    in_proj: Linear,
+    gat1: GatLayer,
+    gat2: GatLayer,
+    head: Linear,
+    embed_dim: usize,
+}
+
+/// Node feature width: `[x, y, is_point, depth_norm]`.
+const NODE_DIM: usize = 4;
+
+impl TrajGatEncoder {
+    /// Builds the quadtree from every dataset point and registers params.
+    pub fn new(
+        config: EncoderConfig,
+        dataset: &TrajectoryDataset,
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+    ) -> Self {
+        let points: Vec<Point> = dataset
+            .trajectories()
+            .iter()
+            .flat_map(|t| t.points().iter().copied())
+            .collect();
+        let tree = QuadTree::build(
+            &points,
+            QuadTreeConfig {
+                max_points: 64,
+                max_depth: 4,
+            },
+        )
+        .expect("dataset must contain points");
+        let h = config.hidden_dim;
+        TrajGatEncoder {
+            tree,
+            in_proj: Linear::new("trajgat.in", NODE_DIM, h, store, rng),
+            gat1: GatLayer::new("trajgat.gat1", h, h, store, rng),
+            gat2: GatLayer::new("trajgat.gat2", h, h, store, rng),
+            head: Linear::new("trajgat.head", h, config.embed_dim, store, rng),
+            embed_dim: config.embed_dim,
+        }
+    }
+
+    /// The pre-built quadtree.
+    pub fn tree(&self) -> &QuadTree {
+        &self.tree
+    }
+
+    /// Builds the per-trajectory graph: node features and adjacency.
+    /// Returns `(features, neighbors, num_point_nodes)`.
+    fn build_graph(&self, traj: &Trajectory) -> (Tensor, Vec<Vec<usize>>, usize) {
+        let feats = point_features(traj);
+        let n_pts = feats.len();
+        let max_depth = self.tree.depth().max(1) as f32;
+
+        // Collect unique tree nodes on the paths of all points.
+        let mut tree_nodes: Vec<usize> = Vec::new();
+        let mut paths: Vec<Vec<usize>> = Vec::with_capacity(n_pts);
+        for p in traj.points() {
+            let path = self.tree.path_to_leaf(p);
+            for &n in &path {
+                if !tree_nodes.contains(&n) {
+                    tree_nodes.push(n);
+                }
+            }
+            paths.push(path);
+        }
+        let tree_index = |arena: usize| {
+            n_pts
+                + tree_nodes
+                    .iter()
+                    .position(|&x| x == arena)
+                    .expect("tree node indexed")
+        };
+
+        let total = n_pts + tree_nodes.len();
+        let mut x = Tensor::zeros(total, NODE_DIM);
+        for (i, f) in feats.iter().enumerate() {
+            x.set(i, 0, f[0]);
+            x.set(i, 1, f[1]);
+            x.set(i, 2, 1.0); // point marker
+        }
+        for (j, &arena) in tree_nodes.iter().enumerate() {
+            let node = &self.tree.nodes()[arena];
+            let (cx, cy) = node.bbox.center();
+            x.set(n_pts + j, 0, cx as f32);
+            x.set(n_pts + j, 1, cy as f32);
+            x.set(n_pts + j, 3, node.depth as f32 / max_depth);
+        }
+
+        let mut neighbors: Vec<Vec<usize>> = (0..total).map(|i| vec![i]).collect();
+        let mut connect = |a: usize, b: usize| {
+            if !neighbors[a].contains(&b) {
+                neighbors[a].push(b);
+            }
+            if !neighbors[b].contains(&a) {
+                neighbors[b].push(a);
+            }
+        };
+        // Sequence edges between consecutive points.
+        for i in 1..n_pts {
+            connect(i - 1, i);
+        }
+        // Membership edges point → every tree node on its path, and tree
+        // child → parent edges along the path.
+        for (i, path) in paths.iter().enumerate() {
+            for &arena in path {
+                connect(i, tree_index(arena));
+            }
+            for w in path.windows(2) {
+                connect(tree_index(w[0]), tree_index(w[1]));
+            }
+        }
+        (x, neighbors, n_pts)
+    }
+}
+
+impl TrajectoryEncoder for TrajGatEncoder {
+    fn name(&self) -> &'static str {
+        "trajgat"
+    }
+
+    fn output_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    fn encode_batch(&self, tape: &mut Tape, store: &ParamStore, trajs: &[&Trajectory]) -> Var {
+        assert!(!trajs.is_empty(), "empty batch");
+        let mut rows = Vec::with_capacity(trajs.len());
+        for traj in trajs {
+            let (x, neighbors, n_pts) = self.build_graph(traj);
+            let xv = tape.constant(x);
+            let h0 = self.in_proj.forward(tape, store, xv);
+            let h0a = tape.tanh(h0);
+            let h1 = self.gat1.forward(tape, store, h0a, &neighbors);
+            let h1a = tape.leaky_relu(h1, 0.2);
+            let h2 = self.gat2.forward(tape, store, h1a, &neighbors);
+            // Mean-pool over the point nodes only.
+            let total = neighbors.len();
+            let mut pool = Tensor::zeros(1, total);
+            for c in 0..n_pts {
+                pool.set(0, c, 1.0 / n_pts as f32);
+            }
+            let poolv = tape.constant(pool);
+            let pooled = tape.matmul(poolv, h2); // 1×h
+            rows.push(pooled);
+        }
+        let stacked = tape.stack_rows(&rows);
+        self.head.forward(tape, store, stacked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use traj_core::normalize::Normalizer;
+
+    fn toy_dataset() -> TrajectoryDataset {
+        let mut trajs = Vec::new();
+        for i in 0..6 {
+            let o = i as f64 * 3.0;
+            trajs.push(
+                Trajectory::from_xy(&[(o, 0.0), (o + 1.0, 2.0), (o + 2.0, 1.0), (o + 3.0, 4.0)])
+                    .unwrap(),
+            );
+        }
+        let ds = TrajectoryDataset::new("toy", trajs);
+        let n = Normalizer::fit(&ds).unwrap();
+        n.dataset(&ds)
+    }
+
+    fn build() -> (ParamStore, TrajGatEncoder, TrajectoryDataset) {
+        let ds = toy_dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut store = ParamStore::new();
+        let enc = TrajGatEncoder::new(EncoderConfig::default(), &ds, &mut store, &mut rng);
+        (store, enc, ds)
+    }
+
+    #[test]
+    fn output_shape_and_finiteness() {
+        let (store, enc, ds) = build();
+        let refs: Vec<&Trajectory> = ds.trajectories().iter().take(3).collect();
+        let mut tape = Tape::new();
+        let out = enc.encode_batch(&mut tape, &store, &refs);
+        assert_eq!(tape.value(out).shape(), (3, 16));
+        assert!(tape.value(out).all_finite());
+    }
+
+    #[test]
+    fn graph_includes_points_and_tree_nodes() {
+        let (_, enc, ds) = build();
+        let t = &ds.trajectories()[0];
+        let (x, neighbors, n_pts) = enc.build_graph(t);
+        assert_eq!(n_pts, t.len());
+        assert!(x.rows() > n_pts, "graph must contain tree nodes");
+        assert_eq!(neighbors.len(), x.rows());
+        // Point marker column distinguishes node kinds.
+        assert_eq!(x.get(0, 2), 1.0);
+        assert_eq!(x.get(n_pts, 2), 0.0);
+        // Every node has a self-loop.
+        for (i, nb) in neighbors.iter().enumerate() {
+            assert!(nb.contains(&i), "node {i} lacks a self-loop");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // i and i−1 both indexed
+    fn sequence_edges_exist() {
+        let (_, enc, ds) = build();
+        let t = &ds.trajectories()[0];
+        let (_, neighbors, n_pts) = enc.build_graph(t);
+        for i in 1..n_pts {
+            assert!(neighbors[i].contains(&(i - 1)));
+        }
+    }
+
+    #[test]
+    fn embeddings_distinguish_trajectories() {
+        let (store, enc, ds) = build();
+        let refs: Vec<&Trajectory> = ds.trajectories().iter().take(2).collect();
+        let mut tape = Tape::new();
+        let out = enc.encode_batch(&mut tape, &store, &refs);
+        let v = tape.value(out);
+        let diff: f32 = v
+            .row(0)
+            .iter()
+            .zip(v.row(1))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-4);
+    }
+
+    #[test]
+    fn tree_depth_capped() {
+        let (_, enc, _) = build();
+        assert!(enc.tree().depth() <= 4);
+    }
+}

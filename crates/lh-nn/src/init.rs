@@ -1,0 +1,52 @@
+//! Weight initialization schemes.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Xavier/Glorot uniform: `U(−√(6/(fan_in+fan_out)), +…)`. The default for
+/// linear and recurrent input weights.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Tensor::uniform(rows, cols, a, rng)
+}
+
+/// Small uniform `U(−a, a)` for embedding tables.
+pub fn embedding_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let a = (1.0 / cols as f32).sqrt();
+    Tensor::uniform(rows, cols, a, rng)
+}
+
+/// Zeros — biases.
+pub fn zeros(rows: usize, cols: usize) -> Tensor {
+    Tensor::zeros(rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = xavier_uniform(10, 30, &mut rng);
+        let a = (6.0f32 / 40.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= a));
+        // Not all zero.
+        assert!(t.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn embedding_scale_shrinks_with_dim() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let narrow = embedding_uniform(5, 4, &mut rng);
+        assert!(narrow.data().iter().all(|v| v.abs() <= 0.5));
+        let wide = embedding_uniform(5, 100, &mut rng);
+        assert!(wide.data().iter().all(|v| v.abs() <= 0.1));
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        assert_eq!(zeros(2, 2).sum(), 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Scaled dot-product self-attention over one sequence, plus the
+//! co-attention variant ST2Vec-style models use to fuse spatial and
+//! temporal streams.
+
+use crate::init;
+use crate::params::ParamStore;
+use crate::tape::{Tape, Var};
+use rand::rngs::StdRng;
+
+/// Single-head self-attention: `softmax(QKᵀ/√d)·V` with learned `W_q, W_k,
+/// W_v` projections.
+#[derive(Debug, Clone)]
+pub struct SelfAttention {
+    name: String,
+    dim: usize,
+}
+
+impl SelfAttention {
+    /// Registers projection matrices (`d×d` each).
+    pub fn new(
+        name: impl Into<String>,
+        dim: usize,
+        store: &mut ParamStore,
+        rng: &mut StdRng,
+    ) -> Self {
+        let name = name.into();
+        for suffix in ["wq", "wk", "wv"] {
+            store.get_or_insert_with(&format!("{name}.{suffix}"), || {
+                init::xavier_uniform(dim, dim, rng)
+            });
+        }
+        SelfAttention { name, dim }
+    }
+
+    /// Feature width `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Self-attention over a `T×d` sequence matrix → `T×d`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        self.attend(tape, store, x, x)
+    }
+
+    /// Co-attention: queries from `q_seq (Tq×d)`, keys/values from
+    /// `kv_seq (Tk×d)` → `Tq×d`.
+    pub fn attend(&self, tape: &mut Tape, store: &ParamStore, q_seq: Var, kv_seq: Var) -> Var {
+        let wq = tape.watch(store, &format!("{}.wq", self.name));
+        let wk = tape.watch(store, &format!("{}.wk", self.name));
+        let wv = tape.watch(store, &format!("{}.wv", self.name));
+        let q = tape.matmul(q_seq, wq);
+        let k = tape.matmul(kv_seq, wk);
+        let v = tape.matmul(kv_seq, wv);
+        let kt = tape.transpose(k);
+        let scores = tape.matmul(q, kt);
+        let scaled = tape.scale(scores, 1.0 / (self.dim as f32).sqrt());
+        let attn = tape.softmax_rows(scaled);
+        tape.matmul(attn, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn setup(dim: usize) -> (ParamStore, SelfAttention) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let att = SelfAttention::new("att", dim, &mut store, &mut rng);
+        (store, att)
+    }
+
+    #[test]
+    fn output_shape_matches_queries() {
+        let (store, att) = setup(3);
+        let mut tape = Tape::new();
+        let x = tape.constant(Tensor::zeros(5, 3));
+        let y = att.forward(&mut tape, &store, x);
+        assert_eq!(tape.value(y).shape(), (5, 3));
+
+        let q = tape.constant(Tensor::zeros(2, 3));
+        let kv = tape.constant(Tensor::zeros(7, 3));
+        let co = att.attend(&mut tape, &store, q, kv);
+        assert_eq!(tape.value(co).shape(), (2, 3));
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        // With V = values, each output row lies in the convex hull of the
+        // value rows; for a single kv row the output equals that row's
+        // projection regardless of the query.
+        let (store, att) = setup(2);
+        let mut tape = Tape::new();
+        let q = tape.constant(Tensor::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 5.0, -5.0]));
+        let kv = tape.constant(Tensor::from_vec(1, 2, vec![0.3, 0.7]));
+        let y = tape_out(&mut tape, &att, &store, q, kv);
+        let v0 = tape.value(y).row(0).to_vec();
+        for r in 1..3 {
+            for (a, b) in tape.value(y).row(r).iter().zip(&v0) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+
+    fn tape_out(
+        tape: &mut Tape,
+        att: &SelfAttention,
+        store: &ParamStore,
+        q: Var,
+        kv: Var,
+    ) -> Var {
+        att.attend(tape, store, q, kv)
+    }
+
+    #[test]
+    fn trainable_end_to_end() {
+        let (mut store, att) = setup(2);
+        let mut opt = Adam::new(0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..80 {
+            let mut tape = Tape::new();
+            let x = tape.constant(Tensor::from_vec(2, 2, vec![0.5, -0.5, 1.0, 0.5]));
+            let y = att.forward(&mut tape, &store, x);
+            let pooled = tape.row_sum(y);
+            let target = tape.constant(Tensor::from_vec(2, 1, vec![0.7, -0.2]));
+            let d = tape.sub(pooled, target);
+            let sq = tape.square(d);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            opt.step(&mut store, &tape);
+            last = tape.value(loss).item();
+        }
+        assert!(last < 0.01, "attention failed to fit: {last}");
+    }
+}

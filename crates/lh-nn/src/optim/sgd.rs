@@ -1,0 +1,103 @@
+//! Stochastic gradient descent with optional momentum.
+
+use super::{collect_clipped_grads, Optimizer};
+use crate::params::ParamStore;
+use crate::tape::Tape;
+use crate::tensor::Tensor;
+use std::collections::BTreeMap;
+
+/// SGD with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    /// Optional global-norm gradient clip.
+    pub clip_norm: Option<f32>,
+    velocity: BTreeMap<String, Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            clip_norm: None,
+            velocity: BTreeMap::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            clip_norm: None,
+            velocity: BTreeMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, tape: &Tape) {
+        for (name, grad) in collect_clipped_grads(tape, self.clip_norm) {
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(name.clone())
+                    .or_insert_with(|| Tensor::zeros(grad.rows(), grad.cols()));
+                for (vv, g) in v.data_mut().iter_mut().zip(grad.data()) {
+                    *vv = self.momentum * *vv + g;
+                }
+                store.get_mut(&name).axpy(-self.lr, &v.clone());
+            } else {
+                store.get_mut(&name).axpy(-self.lr, &grad);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizing f(w) = (w − 3)² converges to w = 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        store.insert("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            let mut tape = Tape::new();
+            let w = tape.watch(&store, "w");
+            let d = tape.add_const(w, -3.0);
+            let sq = tape.square(d);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss);
+            opt.step(&mut store, &tape);
+        }
+        assert!((store.get("w").item() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |momentum: f32| {
+            let mut store = ParamStore::new();
+            store.insert("w", Tensor::scalar(0.0));
+            let mut opt = Sgd::with_momentum(0.02, momentum);
+            for _ in 0..30 {
+                let mut tape = Tape::new();
+                let w = tape.watch(&store, "w");
+                let d = tape.add_const(w, -3.0);
+                let sq = tape.square(d);
+                let loss = tape.sum_all(sq);
+                tape.backward(loss);
+                opt.step(&mut store, &tape);
+            }
+            (store.get("w").item() - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+}

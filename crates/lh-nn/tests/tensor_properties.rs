@@ -1,0 +1,104 @@
+//! Property-based tests for the tensor/autodiff substrate.
+
+use lh_nn::{Tape, Tensor};
+use proptest::prelude::*;
+
+fn tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `(A·B)ᵀ = Bᵀ·Aᵀ`.
+    #[test]
+    fn matmul_transpose_identity(a in tensor(3, 4), b in tensor(4, 2)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Matmul distributes over addition: `A·(B + C) = A·B + A·C`.
+    #[test]
+    fn matmul_distributes(a in tensor(2, 3), b in tensor(3, 3), c in tensor(3, 3)) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax rows are a probability simplex and order-preserving.
+    #[test]
+    fn softmax_simplex(x in tensor(3, 5)) {
+        let mut tape = Tape::new();
+        let v = tape.constant(x.clone());
+        let s = tape.softmax_rows(v);
+        let out = tape.value(s);
+        for r in 0..3 {
+            let row = out.row(r);
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&p| p >= 0.0));
+            // Order preservation.
+            for i in 0..5 {
+                for j in 0..5 {
+                    if x.get(r, i) > x.get(r, j) {
+                        prop_assert!(row[i] >= row[j] - 1e-6);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Backward through a linear chain equals the analytic gradient:
+    /// `d/dx sum(c ⊙ x) = c`.
+    #[test]
+    fn linear_grad_exact(x in tensor(2, 3), c in tensor(2, 3)) {
+        let mut tape = Tape::new();
+        let xv = tape.constant(x);
+        let cv = tape.constant(c.clone());
+        let prod = tape.mul(xv, cv);
+        let loss = tape.sum_all(prod);
+        tape.backward(loss);
+        let g = tape.grad(xv);
+        for (gv, cvv) in g.data().iter().zip(c.data()) {
+            prop_assert!((gv - cvv).abs() < 1e-6);
+        }
+    }
+
+    /// The Lorentz inner-product op matches the scalar formula.
+    #[test]
+    fn lorentz_inner_matches_formula(a in tensor(2, 4), b in tensor(2, 4)) {
+        let mut tape = Tape::new();
+        let av = tape.constant(a.clone());
+        let bv = tape.constant(b.clone());
+        let inner = tape.lorentz_inner(av, bv);
+        for r in 0..2 {
+            let expect: f32 = -a.get(r, 0) * b.get(r, 0)
+                + (1..4).map(|c| a.get(r, c) * b.get(r, c)).sum::<f32>();
+            prop_assert!((tape.value(inner).get(r, 0) - expect).abs() < 1e-5);
+        }
+    }
+
+    /// Gradients accumulate linearly: grad of `sum(x) * k` is `k`
+    /// everywhere, for any scale.
+    #[test]
+    fn scale_grad(x in tensor(2, 2), k in -3.0f32..3.0) {
+        let mut tape = Tape::new();
+        let xv = tape.constant(x);
+        let s = tape.sum_all(xv);
+        let scaled = tape.scale(s, k);
+        tape.backward(scaled);
+        let g = tape.grad(xv);
+        for &gv in g.data() {
+            prop_assert!((gv - k).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type shared by the trajectory substrate.
+
+use std::fmt;
+
+/// Errors produced by trajectory construction and dataset operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrajError {
+    /// A trajectory must contain at least one point.
+    EmptyTrajectory,
+    /// A coordinate or timestamp was NaN/infinite.
+    NonFiniteCoordinate { index: usize },
+    /// Timestamps must be non-decreasing when present.
+    NonMonotonicTimestamps { index: usize },
+    /// Mixed timestamped and untimestamped points in one trajectory.
+    InconsistentTimestamps,
+    /// Dataset-level index out of range.
+    IndexOutOfRange { index: usize, len: usize },
+    /// Grid/quadtree construction over an empty or degenerate region.
+    DegenerateRegion,
+    /// Configuration value outside its valid domain.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for TrajError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajError::EmptyTrajectory => write!(f, "trajectory must contain at least one point"),
+            TrajError::NonFiniteCoordinate { index } => {
+                write!(f, "non-finite coordinate at point index {index}")
+            }
+            TrajError::NonMonotonicTimestamps { index } => {
+                write!(f, "timestamp decreases at point index {index}")
+            }
+            TrajError::InconsistentTimestamps => {
+                write!(f, "trajectory mixes timestamped and untimestamped points")
+            }
+            TrajError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for dataset of length {len}")
+            }
+            TrajError::DegenerateRegion => {
+                write!(f, "spatial region is empty or degenerate")
+            }
+            TrajError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrajError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, TrajError>;

@@ -1,0 +1,160 @@
+//! Polyline simplification (Ramer–Douglas–Peucker).
+//!
+//! The real TrajGAT preprocesses long trajectories by simplification
+//! before graph construction, and trajectory databases commonly store
+//! simplified polylines (cf. PRESS). Provided here both as substrate and
+//! as a workload knob for the efficiency benches.
+
+use crate::error::{Result, TrajError};
+use crate::point::{point_segment_distance, Point};
+use crate::trajectory::Trajectory;
+
+/// Ramer–Douglas–Peucker simplification with tolerance `epsilon`:
+/// keeps every point whose removal would change the polyline by more than
+/// `epsilon` (perpendicular distance). Endpoints are always kept.
+pub fn douglas_peucker(traj: &Trajectory, epsilon: f64) -> Result<Trajectory> {
+    if epsilon < 0.0 {
+        return Err(TrajError::InvalidConfig("epsilon must be ≥ 0".into()));
+    }
+    let pts = traj.points();
+    if pts.len() <= 2 {
+        return Ok(traj.clone());
+    }
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+    rdp_recurse(pts, 0, pts.len() - 1, epsilon, &mut keep);
+    let kept: Vec<Point> = pts
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| *p)
+        .collect();
+    Trajectory::new(kept)
+}
+
+fn rdp_recurse(pts: &[Point], lo: usize, hi: usize, eps: f64, keep: &mut [bool]) {
+    if hi <= lo + 1 {
+        return;
+    }
+    let (mut worst, mut worst_idx) = (0.0f64, lo);
+    for (i, p) in pts.iter().enumerate().take(hi).skip(lo + 1) {
+        let d = point_segment_distance(p, &pts[lo], &pts[hi]);
+        if d > worst {
+            worst = d;
+            worst_idx = i;
+        }
+    }
+    if worst > eps {
+        keep[worst_idx] = true;
+        rdp_recurse(pts, lo, worst_idx, eps, keep);
+        rdp_recurse(pts, worst_idx, hi, eps, keep);
+    }
+}
+
+/// Simplifies to at most `max_points` by bisecting on the tolerance:
+/// finds the smallest ε whose simplification fits the budget.
+pub fn simplify_to_budget(traj: &Trajectory, max_points: usize) -> Result<Trajectory> {
+    if max_points < 2 {
+        return Err(TrajError::InvalidConfig("budget must be ≥ 2 points".into()));
+    }
+    if traj.len() <= max_points {
+        return Ok(traj.clone());
+    }
+    let bb = traj.bbox();
+    let mut lo = 0.0f64;
+    let mut hi = (bb.width().powi(2) + bb.height().powi(2)).sqrt().max(1e-12);
+    let mut best = douglas_peucker(traj, hi)?;
+    for _ in 0..48 {
+        let mid = 0.5 * (lo + hi);
+        let candidate = douglas_peucker(traj, mid)?;
+        if candidate.len() <= max_points {
+            best = candidate;
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_line() -> Trajectory {
+        // A straight line with one significant bump at index 3.
+        Trajectory::from_xy(&[
+            (0.0, 0.0),
+            (1.0, 0.01),
+            (2.0, -0.01),
+            (3.0, 2.0),
+            (4.0, 0.01),
+            (5.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn keeps_endpoints_and_salient_points() {
+        let s = douglas_peucker(&noisy_line(), 0.1).unwrap();
+        assert_eq!(s[0], noisy_line()[0]);
+        assert_eq!(s[s.len() - 1], noisy_line()[5]);
+        assert!(s.points().contains(&noisy_line()[3]), "bump must survive");
+        assert!(s.len() < 6, "noise points must be dropped");
+    }
+
+    #[test]
+    fn zero_epsilon_keeps_everything_non_collinear() {
+        let t = noisy_line();
+        let s = douglas_peucker(&t, 0.0).unwrap();
+        assert_eq!(s.len(), t.len());
+    }
+
+    #[test]
+    fn huge_epsilon_keeps_only_endpoints() {
+        let s = douglas_peucker(&noisy_line(), 100.0).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn short_trajectories_pass_through() {
+        let t = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 1.0)]).unwrap();
+        assert_eq!(douglas_peucker(&t, 0.5).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_negative_epsilon() {
+        assert!(douglas_peucker(&noisy_line(), -1.0).is_err());
+    }
+
+    #[test]
+    fn budget_simplification_respects_budget() {
+        let coords: Vec<(f64, f64)> = (0..100)
+            .map(|i| (i as f64, ((i * 37) % 17) as f64 * 0.1))
+            .collect();
+        let t = Trajectory::from_xy(&coords).unwrap();
+        for budget in [2usize, 5, 10, 50] {
+            let s = simplify_to_budget(&t, budget).unwrap();
+            assert!(s.len() <= budget, "budget {budget}: got {}", s.len());
+            assert!(s.len() >= 2);
+        }
+        assert!(simplify_to_budget(&t, 1).is_err());
+    }
+
+    #[test]
+    fn simplification_preserves_hausdorff_bound() {
+        // RDP guarantee: every dropped point is within ε of the kept
+        // polyline.
+        let t = noisy_line();
+        let eps = 0.05;
+        let s = douglas_peucker(&t, eps).unwrap();
+        for p in t.points() {
+            let mut best = f64::INFINITY;
+            for w in s.points().windows(2) {
+                best = best.min(point_segment_distance(p, &w[0], &w[1]));
+            }
+            assert!(best <= eps + 1e-12, "point strayed {best} > {eps}");
+        }
+    }
+}

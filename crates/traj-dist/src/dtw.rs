@@ -1,0 +1,142 @@
+//! Dynamic Time Warping (Formula 1 of the paper).
+//!
+//! `DTW[i,j] = d(p_i, q_j) + min(DTW[i−1,j], DTW[i,j−1], DTW[i−1,j−1])`.
+//! DTW is symmetric and non-negative with `dtw(T,T) = 0`, but it is **not**
+//! a metric: the paper's Example 1 (reproduced in the tests below) violates
+//! the triangle inequality.
+
+use traj_core::Trajectory;
+
+/// Dynamic-time-warping distance between two trajectories with Euclidean
+/// point costs. `O(n·m)` time, `O(min(n,m))` memory.
+pub fn dtw(a: &Trajectory, b: &Trajectory) -> f64 {
+    // Keep the shorter trajectory on the inner (column) axis.
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let lp = long.points();
+    let sp = short.points();
+    let m = sp.len();
+
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+
+    for pi in lp {
+        cur[0] = f64::INFINITY;
+        for (j, qj) in sp.iter().enumerate() {
+            let cost = pi.dist(qj);
+            let best = prev[j].min(prev[j + 1]).min(cur[j]);
+            cur[j + 1] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// DTW with a Sakoe–Chiba band of half-width `band` (indices farther than
+/// `band` apart on the normalized diagonal are not matched). `band ≥
+/// |n−m|` is required for a finite result; the band is widened to that
+/// automatically. Used by the efficiency benches to contrast constrained
+/// and unconstrained alignment costs.
+pub fn dtw_banded(a: &Trajectory, b: &Trajectory, band: usize) -> f64 {
+    let ap = a.points();
+    let bp = b.points();
+    let (n, m) = (ap.len(), bp.len());
+    let band = band.max(n.abs_diff(m));
+
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+
+    for i in 1..=n {
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(m);
+        cur[lo - 1] = f64::INFINITY;
+        for j in lo..=hi {
+            let cost = ap[i - 1].dist(&bp[j - 1]);
+            let best = prev[j - 1].min(prev[j]).min(cur[j - 1]);
+            cur[j] = cost + best;
+        }
+        if hi < m {
+            cur[hi + 1..].fill(f64::INFINITY);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        // `cur` (old prev) is fully overwritten next iteration within band;
+        // reset entries before the band start to keep stale values out.
+        cur[..lo].fill(f64::INFINITY);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(coords: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(coords).unwrap()
+    }
+
+    /// Paper Example 1: DTW(Ta,Tb)=4, DTW(Tb,Tc)=9, DTW(Ta,Tc)=15 — a
+    /// triangle-inequality violation (15 > 4+9).
+    #[test]
+    fn paper_example_1() {
+        let ta = t(&[(0.0, 0.0), (0.0, 1.0), (0.0, 3.0)]);
+        let tb = t(&[(2.0, 0.0), (0.0, 1.0), (2.0, 3.0)]);
+        let tc = t(&[(3.0, 0.0), (3.0, 1.0), (4.0, 3.0), (5.0, 3.0)]);
+        let ab = dtw(&ta, &tb);
+        let bc = dtw(&tb, &tc);
+        let ac = dtw(&ta, &tc);
+        assert!((ab - 4.0).abs() < 1e-9, "ab={ab}");
+        assert!((bc - 9.0).abs() < 1e-9, "bc={bc}");
+        assert!((ac - 15.0).abs() < 1e-9, "ac={ac}");
+        assert!(ac > ab + bc, "Example 1 must violate the triangle inequality");
+    }
+
+    #[test]
+    fn self_distance_zero() {
+        let ta = t(&[(0.0, 0.0), (1.0, 2.0), (3.0, 1.0)]);
+        assert_eq!(dtw(&ta, &ta), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let ta = t(&[(0.0, 0.0), (1.0, 2.0), (3.0, 1.0)]);
+        let tb = t(&[(0.5, 0.5), (2.0, 2.0)]);
+        assert!((dtw(&ta, &tb) - dtw(&tb, &ta)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_vs_sequence() {
+        let one = t(&[(0.0, 0.0)]);
+        let many = t(&[(1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        // All of `many` aligns against the single point: 1 + 2 + 3.
+        assert!((dtw(&one, &many) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn banded_with_full_band_matches_exact() {
+        let ta = t(&[(0.0, 0.0), (0.0, 1.0), (0.0, 3.0)]);
+        let tc = t(&[(3.0, 0.0), (3.0, 1.0), (4.0, 3.0), (5.0, 3.0)]);
+        let exact = dtw(&ta, &tc);
+        let banded = dtw_banded(&ta, &tc, 10);
+        assert!((exact - banded).abs() < 1e-9);
+    }
+
+    #[test]
+    fn banded_is_upper_bound() {
+        let ta = t(&[(0.0, 0.0), (5.0, 0.0), (5.0, 5.0), (0.0, 5.0), (0.0, 1.0)]);
+        let tb = t(&[(1.0, 1.0), (4.0, 0.5), (5.5, 4.0), (1.0, 4.0), (0.5, 0.0)]);
+        let exact = dtw(&ta, &tb);
+        for band in 0..5 {
+            let approx = dtw_banded(&ta, &tb, band);
+            assert!(approx >= exact - 1e-9, "band={band}");
+        }
+    }
+
+    #[test]
+    fn translation_shifts_cost() {
+        let ta = t(&[(0.0, 0.0), (1.0, 0.0)]);
+        let tb = t(&[(0.0, 3.0), (1.0, 3.0)]);
+        // Each of the two aligned pairs contributes 3.
+        assert!((dtw(&ta, &tb) - 6.0).abs() < 1e-12);
+    }
+}

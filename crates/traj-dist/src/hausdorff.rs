@@ -1,0 +1,94 @@
+//! Hausdorff distance between point sets.
+//!
+//! `H(A,B) = max( max_a min_b d(a,b), max_b min_a d(a,b) )`. Unlike DTW and
+//! EDR, the Hausdorff distance **is a metric** on compact sets — the test
+//! suite uses it as the in-repo control that the violation statistics
+//! (RV/ARVS) really are ≈ 0 for a metric.
+
+use traj_core::Trajectory;
+
+/// Directed Hausdorff distance: `max_{a∈A} min_{b∈B} d(a,b)`.
+pub fn directed_hausdorff(a: &Trajectory, b: &Trajectory) -> f64 {
+    let mut worst = 0.0f64;
+    for p in a.points() {
+        let mut best = f64::INFINITY;
+        for q in b.points() {
+            let d = p.dist_sq(q);
+            if d < best {
+                best = d;
+                if best == 0.0 {
+                    break;
+                }
+            }
+        }
+        if best > worst {
+            worst = best;
+        }
+    }
+    worst.sqrt()
+}
+
+/// Symmetric Hausdorff distance.
+pub fn hausdorff(a: &Trajectory, b: &Trajectory) -> f64 {
+    directed_hausdorff(a, b).max(directed_hausdorff(b, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(coords: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(coords).unwrap()
+    }
+
+    #[test]
+    fn identical_zero() {
+        let a = t(&[(0.0, 0.0), (1.0, 1.0)]);
+        assert_eq!(hausdorff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        let a = t(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = t(&[(0.0, 0.0), (1.0, 2.0)]);
+        // Farthest point of b from a's set: (1,2) at distance 2 from (1,0).
+        assert!((hausdorff(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = t(&[(0.0, 0.0), (5.0, 5.0), (1.0, 3.0)]);
+        let b = t(&[(2.0, 2.0), (4.0, 0.0)]);
+        assert_eq!(hausdorff(&a, &b), hausdorff(&b, &a));
+    }
+
+    #[test]
+    fn directed_asymmetry() {
+        // a ⊂ b (as a set) → directed(a→b)=0 but directed(b→a)>0.
+        let a = t(&[(0.0, 0.0)]);
+        let b = t(&[(0.0, 0.0), (10.0, 0.0)]);
+        assert_eq!(directed_hausdorff(&a, &b), 0.0);
+        assert_eq!(directed_hausdorff(&b, &a), 10.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds_on_samples() {
+        // Hausdorff is a metric: spot-check a handful of fixed triples.
+        let trajs = [
+            t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 1.0)]),
+            t(&[(0.5, 0.5), (1.5, 1.0)]),
+            t(&[(3.0, 0.0), (3.0, 2.0), (4.0, 2.0)]),
+            t(&[(-1.0, -1.0), (0.0, -2.0)]),
+        ];
+        for i in 0..trajs.len() {
+            for j in 0..trajs.len() {
+                for k in 0..trajs.len() {
+                    let ij = hausdorff(&trajs[i], &trajs[j]);
+                    let jk = hausdorff(&trajs[j], &trajs[k]);
+                    let ik = hausdorff(&trajs[i], &trajs[k]);
+                    assert!(ik <= ij + jk + 1e-12);
+                }
+            }
+        }
+    }
+}

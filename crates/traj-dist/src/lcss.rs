@@ -1,0 +1,85 @@
+//! Longest Common SubSequence similarity, distance-ified.
+//!
+//! `LCSS(a,b)` counts the longest chain of tolerance-matched points;
+//! `lcss_distance = 1 − LCSS/min(n,m)` is the standard normalization into
+//! `[0,1]`. Like EDR it is tolerance-based and **not** a metric.
+
+use traj_core::{Point, Trajectory};
+
+#[inline]
+fn matches(p: &Point, q: &Point, eps: f64) -> bool {
+    (p.x - q.x).abs() <= eps && (p.y - q.y).abs() <= eps
+}
+
+/// Raw LCSS length (number of matched pairs in the best common chain).
+pub fn lcss_len(a: &Trajectory, b: &Trajectory, eps: f64) -> usize {
+    let ap = a.points();
+    let bp = b.points();
+    let m = bp.len();
+    let mut prev = vec![0u32; m + 1];
+    let mut cur = vec![0u32; m + 1];
+    for pa in ap {
+        for (j, pb) in bp.iter().enumerate() {
+            cur[j + 1] = if matches(pa, pb, eps) {
+                prev[j] + 1
+            } else {
+                prev[j + 1].max(cur[j])
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m] as usize
+}
+
+/// LCSS distance: `1 − LCSS / min(n, m)` ∈ [0, 1].
+pub fn lcss_distance(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
+    let lcs = lcss_len(a, b, eps) as f64;
+    1.0 - lcs / (a.len().min(b.len()) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(coords: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(coords).unwrap()
+    }
+
+    #[test]
+    fn identical_zero_distance() {
+        let a = t(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(lcss_distance(&a, &a, 0.1), 0.0);
+    }
+
+    #[test]
+    fn disjoint_full_distance() {
+        let a = t(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = t(&[(50.0, 50.0), (51.0, 50.0)]);
+        assert_eq!(lcss_distance(&a, &b, 0.5), 1.0);
+        assert_eq!(lcss_len(&a, &b, 0.5), 0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let b = t(&[(1.0, 0.0), (2.0, 0.0)]);
+        assert_eq!(lcss_len(&a, &b, 0.1), 2);
+        assert_eq!(lcss_distance(&a, &b, 0.1), 0.0); // normalized by min len
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = t(&[(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]);
+        let b = t(&[(0.1, 0.0), (2.2, 1.0)]);
+        assert_eq!(lcss_distance(&a, &b, 0.3), lcss_distance(&b, &a, 0.3));
+    }
+
+    #[test]
+    fn subsequence_respects_order() {
+        // Reversed trajectory shares points but not order: LCSS of a strict
+        // ramp against its reverse is 1 (any single point).
+        let a = t(&[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]);
+        let b = t(&[(2.0, 2.0), (1.0, 1.0), (0.0, 0.0)]);
+        assert_eq!(lcss_len(&a, &b, 0.01), 1);
+    }
+}

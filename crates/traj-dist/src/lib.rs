@@ -1,0 +1,32 @@
+//! Classical trajectory similarity/distance functions.
+//!
+//! These are the ground-truth oracles `Dist*(·,·)` the paper's embedding
+//! models regress against. Crucially, several of them (DTW, SSPD, EDR, TP,
+//! DITA) are **not metrics**: they violate the triangle inequality on real
+//! trajectory populations, which is the entire motivation of the LH-plugin.
+//!
+//! All dynamic-programming measures use rolling row buffers (O(min(n,m))
+//! memory) and `f64` accumulation. [`matrix`] fills full and rectangular
+//! pairwise matrices in parallel.
+
+pub mod dtw;
+pub mod edr;
+pub mod erp;
+pub mod frechet;
+pub mod hausdorff;
+pub mod lcss;
+pub mod matrix;
+pub mod measure;
+pub mod sspd;
+pub mod st;
+
+pub use dtw::dtw;
+pub use edr::edr;
+pub use erp::erp;
+pub use frechet::discrete_frechet;
+pub use hausdorff::hausdorff;
+pub use lcss::lcss_distance;
+pub use matrix::{cross_matrix, pairwise_matrix, DistanceMatrix};
+pub use measure::{Measure, MeasureKind};
+pub use sspd::sspd;
+pub use st::{dita, tp};

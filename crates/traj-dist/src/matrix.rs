@@ -1,0 +1,217 @@
+//! Parallel pairwise ground-truth distance matrices.
+//!
+//! Training needs `Dist*(T_i, T_j)` for many pairs; with O(L²) measures and
+//! N trajectories this is the dominant CPU cost, so rows are computed in
+//! parallel via `traj_core::parallel`. Symmetric matrices only compute the
+//! upper triangle.
+
+use crate::measure::Measure;
+use serde::{Deserialize, Serialize};
+use traj_core::parallel::{default_threads, parallel_map};
+use traj_core::Trajectory;
+
+/// A dense row-major distance matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistanceMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Builds from raw parts; `data.len()` must equal `rows*cols`.
+    pub fn from_raw(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        DistanceMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Distance at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Flat data slice (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mean of all entries (used to normalize training targets).
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Mean of off-diagonal entries for square matrices; plain mean
+    /// otherwise. The diagonal of a self-distance matrix is all zeros and
+    /// would bias the scale.
+    pub fn off_diagonal_mean(&self) -> f64 {
+        if self.rows != self.cols || self.rows < 2 {
+            return self.mean();
+        }
+        let mut acc = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    acc += self.get(i, j);
+                }
+            }
+        }
+        acc / (self.rows * (self.rows - 1)) as f64
+    }
+
+    /// Divides every entry by `s` in place.
+    pub fn scale_by(&mut self, s: f64) {
+        assert!(s > 0.0, "scale must be positive");
+        for v in &mut self.data {
+            *v /= s;
+        }
+    }
+
+    /// Indices of the `k` smallest entries of row `i`, excluding `skip`
+    /// (typically the query itself), ascending by distance.
+    pub fn knn_of_row(&self, i: usize, k: usize, skip: Option<usize>) -> Vec<usize> {
+        let row = self.row(i);
+        let mut idx: Vec<usize> = (0..self.cols).filter(|&j| Some(j) != skip).collect();
+        idx.sort_by(|&x, &y| {
+            row[x]
+                .partial_cmp(&row[y])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+}
+
+/// Full symmetric N×N matrix of `measure` over `trajs`, computed in
+/// parallel (upper triangle mirrored).
+pub fn pairwise_matrix(trajs: &[Trajectory], measure: &Measure) -> DistanceMatrix {
+    let n = trajs.len();
+    let threads = default_threads(n);
+    // Each task computes one row's upper-triangle segment.
+    let rows: Vec<Vec<f64>> = parallel_map(n, threads, |i| {
+        let mut row = vec![0.0; n - i];
+        for j in (i + 1)..n {
+            row[j - i] = measure.distance(&trajs[i], &trajs[j]);
+        }
+        row
+    });
+    let mut data = vec![0.0; n * n];
+    for (i, row) in rows.iter().enumerate() {
+        for (off, &d) in row.iter().enumerate() {
+            let j = i + off;
+            data[i * n + j] = d;
+            data[j * n + i] = d;
+        }
+    }
+    DistanceMatrix::from_raw(n, n, data)
+}
+
+/// Rectangular |queries| × |base| matrix (e.g. query set against database).
+pub fn cross_matrix(
+    queries: &[Trajectory],
+    base: &[Trajectory],
+    measure: &Measure,
+) -> DistanceMatrix {
+    let n = queries.len();
+    let m = base.len();
+    let threads = default_threads(n);
+    let rows: Vec<Vec<f64>> = parallel_map(n, threads, |i| {
+        base.iter()
+            .map(|b| measure.distance(&queries[i], b))
+            .collect()
+    });
+    let mut data = Vec::with_capacity(n * m);
+    for row in rows {
+        data.extend_from_slice(&row);
+    }
+    DistanceMatrix::from_raw(n, m, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::MeasureKind;
+
+    fn trajs() -> Vec<Trajectory> {
+        (0..8)
+            .map(|i| {
+                let o = i as f64;
+                Trajectory::from_xy(&[(o, 0.0), (o + 1.0, 0.5), (o + 2.0, 0.0)]).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pairwise_symmetric_zero_diagonal() {
+        let ts = trajs();
+        let m = pairwise_matrix(&ts, &MeasureKind::Dtw.measure());
+        for i in 0..ts.len() {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..ts.len() {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_matches_direct_calls() {
+        let ts = trajs();
+        let meas = MeasureKind::Sspd.measure();
+        let m = pairwise_matrix(&ts, &meas);
+        assert!((m.get(1, 4) - meas.distance(&ts[1], &ts[4])).abs() < 1e-12);
+        assert!((m.get(0, 7) - meas.distance(&ts[0], &ts[7])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_matrix_shape_and_values() {
+        let ts = trajs();
+        let meas = MeasureKind::Dtw.measure();
+        let m = cross_matrix(&ts[..3], &ts, &meas);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 8);
+        assert!((m.get(2, 5) - meas.distance(&ts[2], &ts[5])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_orders_by_distance() {
+        let ts = trajs();
+        let m = pairwise_matrix(&ts, &MeasureKind::Dtw.measure());
+        let knn = m.knn_of_row(0, 3, Some(0));
+        assert_eq!(knn, vec![1, 2, 3], "nearest trajectories are consecutive offsets");
+    }
+
+    #[test]
+    fn scaling_and_means() {
+        let ts = trajs();
+        let mut m = pairwise_matrix(&ts, &MeasureKind::Dtw.measure());
+        let mean = m.off_diagonal_mean();
+        assert!(mean > 0.0);
+        m.scale_by(mean);
+        assert!((m.off_diagonal_mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_raw_checks_shape() {
+        let _ = DistanceMatrix::from_raw(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,177 @@
+//! A uniform handle over all similarity measures.
+//!
+//! Experiments sweep over measures (`DTW`, `SSPD`, `EDR`, …) the way the
+//! paper's tables do; [`MeasureKind`] is the serializable registry and
+//! [`Measure`] the configured, callable form.
+
+use crate::st::{DitaConfig, TpConfig};
+use serde::{Deserialize, Serialize};
+use traj_core::{Point, Trajectory};
+
+/// All measures this crate implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MeasureKind {
+    /// Dynamic time warping (non-metric).
+    Dtw,
+    /// Symmetric segment-path distance (non-metric).
+    Sspd,
+    /// Edit distance on real sequences (non-metric).
+    Edr,
+    /// Hausdorff distance (metric — control).
+    Hausdorff,
+    /// Discrete Fréchet distance (metric — also a Table IV target).
+    DiscreteFrechet,
+    /// Edit distance with real penalty (metric — control).
+    Erp,
+    /// LCSS distance (non-metric).
+    Lcss,
+    /// Spatio-temporal closest-pair aggregate (non-metric).
+    Tp,
+    /// Pivot-aligned spatio-temporal distance (non-metric).
+    Dita,
+}
+
+impl MeasureKind {
+    /// The paper's Table I / III spatial measures.
+    pub const SPATIAL: [MeasureKind; 3] = [MeasureKind::Dtw, MeasureKind::Sspd, MeasureKind::Edr];
+
+    /// The paper's Table IV spatio-temporal measures.
+    pub const SPATIO_TEMPORAL: [MeasureKind; 3] = [
+        MeasureKind::Tp,
+        MeasureKind::Dita,
+        MeasureKind::DiscreteFrechet,
+    ];
+
+    /// Whether the measure is guaranteed to satisfy the triangle inequality.
+    pub fn is_metric(&self) -> bool {
+        matches!(
+            self,
+            MeasureKind::Hausdorff | MeasureKind::DiscreteFrechet | MeasureKind::Erp
+        )
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MeasureKind::Dtw => "DTW",
+            MeasureKind::Sspd => "SSPD",
+            MeasureKind::Edr => "EDR",
+            MeasureKind::Hausdorff => "Hausdorff",
+            MeasureKind::DiscreteFrechet => "discrete-Frechet",
+            MeasureKind::Erp => "ERP",
+            MeasureKind::Lcss => "LCSS",
+            MeasureKind::Tp => "TP",
+            MeasureKind::Dita => "DITA",
+        }
+    }
+
+    /// Configured measure with default parameters (tolerances assume
+    /// unit-square-normalized data).
+    pub fn measure(self) -> Measure {
+        Measure {
+            kind: self,
+            edr_eps: 0.002,
+            lcss_eps: 0.002,
+            erp_gap: Point::new(0.0, 0.0),
+            tp: TpConfig::default(),
+            dita: DitaConfig::default(),
+        }
+    }
+}
+
+/// A configured similarity measure.
+#[derive(Debug, Clone, Copy)]
+pub struct Measure {
+    /// Which algorithm to run.
+    pub kind: MeasureKind,
+    /// EDR match tolerance (unit-square scale).
+    pub edr_eps: f64,
+    /// LCSS match tolerance.
+    pub lcss_eps: f64,
+    /// ERP gap reference point.
+    pub erp_gap: Point,
+    /// TP parameters.
+    pub tp: TpConfig,
+    /// DITA parameters.
+    pub dita: DitaConfig,
+}
+
+impl Measure {
+    /// Overrides the EDR tolerance.
+    pub fn with_edr_eps(mut self, eps: f64) -> Self {
+        self.edr_eps = eps;
+        self
+    }
+
+    /// Evaluates the distance between two trajectories.
+    pub fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        match self.kind {
+            MeasureKind::Dtw => crate::dtw::dtw(a, b),
+            MeasureKind::Sspd => crate::sspd::sspd(a, b),
+            MeasureKind::Edr => crate::edr::edr(a, b, self.edr_eps),
+            MeasureKind::Hausdorff => crate::hausdorff::hausdorff(a, b),
+            MeasureKind::DiscreteFrechet => crate::frechet::discrete_frechet(a, b),
+            MeasureKind::Erp => crate::erp::erp(a, b, &self.erp_gap),
+            MeasureKind::Lcss => crate::lcss::lcss_distance(a, b, self.lcss_eps),
+            MeasureKind::Tp => crate::st::tp(a, b, self.tp),
+            MeasureKind::Dita => crate::st::dita(a, b, self.dita),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(coords: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(coords).unwrap()
+    }
+
+    #[test]
+    fn every_measure_runs_and_is_nonnegative_symmetric() {
+        let a = t(&[(0.0, 0.0), (0.3, 0.2), (0.5, 0.5)]);
+        let b = t(&[(0.1, 0.0), (0.6, 0.4)]);
+        for kind in [
+            MeasureKind::Dtw,
+            MeasureKind::Sspd,
+            MeasureKind::Edr,
+            MeasureKind::Hausdorff,
+            MeasureKind::DiscreteFrechet,
+            MeasureKind::Erp,
+            MeasureKind::Lcss,
+            MeasureKind::Tp,
+            MeasureKind::Dita,
+        ] {
+            let m = kind.measure();
+            let ab = m.distance(&a, &b);
+            let ba = m.distance(&b, &a);
+            assert!(ab >= 0.0, "{kind:?} negative");
+            assert!((ab - ba).abs() < 1e-9, "{kind:?} asymmetric");
+            assert!(m.distance(&a, &a).abs() < 1e-12, "{kind:?} self != 0");
+        }
+    }
+
+    #[test]
+    fn metric_flags() {
+        assert!(!MeasureKind::Dtw.is_metric());
+        assert!(!MeasureKind::Sspd.is_metric());
+        assert!(!MeasureKind::Edr.is_metric());
+        assert!(MeasureKind::Hausdorff.is_metric());
+        assert!(MeasureKind::DiscreteFrechet.is_metric());
+        assert!(MeasureKind::Erp.is_metric());
+    }
+
+    #[test]
+    fn registry_groups_match_paper_tables() {
+        assert_eq!(MeasureKind::SPATIAL.len(), 3);
+        assert_eq!(MeasureKind::SPATIO_TEMPORAL.len(), 3);
+        assert!(MeasureKind::SPATIAL.iter().all(|m| !m.is_metric()));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let j = serde_json::to_string(&MeasureKind::Dtw).unwrap();
+        let back: MeasureKind = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, MeasureKind::Dtw);
+    }
+}

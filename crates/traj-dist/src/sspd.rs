@@ -1,0 +1,105 @@
+//! Symmetric Segment-Path Distance (Besse et al., 2015).
+//!
+//! `SPD(T_a → T_b)` is the mean, over points of `T_a`, of the distance from
+//! the point to the *polyline* of `T_b` (minimum over segments). SSPD is the
+//! symmetrized mean of the two directed values. SSPD is non-negative and
+//! symmetric but does not satisfy the triangle inequality in general
+//! (Table I of the paper measures 5.7%–37% violating triplets).
+
+use traj_core::point::point_segment_distance;
+use traj_core::Trajectory;
+
+/// Directed segment-path distance: mean distance from each point of `a` to
+/// the polyline of `b`.
+pub fn spd(a: &Trajectory, b: &Trajectory) -> f64 {
+    let bp = b.points();
+    let mut acc = 0.0;
+    for p in a.points() {
+        let mut best = f64::INFINITY;
+        if bp.len() == 1 {
+            best = p.dist(&bp[0]);
+        } else {
+            for w in bp.windows(2) {
+                let d = point_segment_distance(p, &w[0], &w[1]);
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        acc += best;
+    }
+    acc / a.len() as f64
+}
+
+/// Symmetric segment-path distance: `(SPD(a→b) + SPD(b→a)) / 2`.
+pub fn sspd(a: &Trajectory, b: &Trajectory) -> f64 {
+    0.5 * (spd(a, b) + spd(b, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(coords: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(coords).unwrap()
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = t(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(sspd(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = t(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        let b = t(&[(0.0, 1.0), (2.0, 1.0)]);
+        assert!((sspd(&a, &b) - sspd(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_lines() {
+        // Two horizontal lines 1 apart: every point is at distance 1 from
+        // the other polyline.
+        let a = t(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = t(&[(0.0, 1.0), (2.0, 1.0)]);
+        assert!((sspd(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_trajectory_directed_zero() {
+        // `a` lies exactly on `b`'s polyline → SPD(a→b)=0 but SPD(b→a)>0
+        // (an asymmetry SSPD symmetrizes away).
+        let a = t(&[(0.5, 0.0), (1.5, 0.0)]);
+        let b = t(&[(0.0, 0.0), (2.0, 0.0), (2.0, 5.0)]);
+        assert_eq!(spd(&a, &b), 0.0);
+        assert!(spd(&b, &a) > 0.0);
+        assert!(sspd(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn single_point_trajectories() {
+        let a = t(&[(0.0, 0.0)]);
+        let b = t(&[(3.0, 4.0)]);
+        assert!((sspd(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_can_fail() {
+        // Constructed violation: b lies on a's polyline and on c's polyline
+        // in pieces, making sspd(a,b)+sspd(b,c) small while sspd(a,c) is
+        // large.
+        let a = t(&[(0.0, 0.0), (10.0, 0.0)]);
+        let b = t(&[(0.0, 0.0), (0.0, 0.1), (10.0, 0.1), (10.0, 0.0)]);
+        let c = t(&[(0.0, 10.0), (10.0, 10.0)]);
+        let ab = sspd(&a, &b);
+        let bc = sspd(&b, &c);
+        let ac = sspd(&a, &c);
+        // Not asserting violation here (depends on geometry); just record
+        // that the three values are finite and sane. The statistical
+        // violation search lives in lh-metrics tests.
+        assert!(ab < 1.0);
+        assert!(ac > 9.0);
+        assert!(bc > 9.0);
+    }
+}

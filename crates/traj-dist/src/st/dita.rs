@@ -1,0 +1,153 @@
+//! DITA-style pivot-aligned spatio-temporal distance.
+//!
+//! The real DITA (Shang et al., SIGMOD'18) selects pivot points (endpoints
+//! plus high-curvature interior points) and computes a DTW-like alignment
+//! over pivots only. We reproduce that skeleton: select up to `num_pivots`
+//! pivots by curvature, then run DTW with a spatio-temporal point cost over
+//! the pivot sequences. Pivot selection depends on each trajectory alone,
+//! so — exactly like the original — the induced distance violates the
+//! triangle inequality (different pivot subsets per pair).
+
+use super::st_point_cost;
+use traj_core::{Point, Trajectory};
+
+/// Parameters for [`dita`].
+#[derive(Debug, Clone, Copy)]
+pub struct DitaConfig {
+    /// Maximum number of pivots per trajectory (≥ 2; endpoints always kept).
+    pub num_pivots: usize,
+    /// Weight converting time gaps into spatial units.
+    pub time_weight: f64,
+}
+
+impl Default for DitaConfig {
+    fn default() -> Self {
+        DitaConfig {
+            num_pivots: 8,
+            time_weight: 1.0,
+        }
+    }
+}
+
+/// Turn sharpness at interior point `i`: `1 − cos(turn angle)`, which is 0
+/// for collinear motion and grows monotonically to 2 for a full reversal
+/// (unlike `sin`, which is ambiguous past 90°).
+fn curvature(points: &[Point], i: usize) -> f64 {
+    let (a, b, c) = (&points[i - 1], &points[i], &points[i + 1]);
+    let v1 = (b.x - a.x, b.y - a.y);
+    let v2 = (c.x - b.x, c.y - b.y);
+    let dot = v1.0 * v2.0 + v1.1 * v2.1;
+    let n1 = (v1.0 * v1.0 + v1.1 * v1.1).sqrt();
+    let n2 = (v2.0 * v2.0 + v2.1 * v2.1).sqrt();
+    if n1 <= f64::EPSILON || n2 <= f64::EPSILON {
+        0.0
+    } else {
+        1.0 - dot / (n1 * n2)
+    }
+}
+
+/// Selects pivot indices: both endpoints plus the highest-curvature interior
+/// points, re-sorted into sequence order.
+pub fn select_pivots(t: &Trajectory, num_pivots: usize) -> Vec<usize> {
+    let n = t.len();
+    let k = num_pivots.max(2);
+    if n <= k {
+        return (0..n).collect();
+    }
+    let pts = t.points();
+    let mut interior: Vec<(usize, f64)> = (1..n - 1).map(|i| (i, curvature(pts, i))).collect();
+    interior.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut chosen: Vec<usize> = vec![0, n - 1];
+    chosen.extend(interior.iter().take(k - 2).map(|&(i, _)| i));
+    chosen.sort_unstable();
+    chosen.dedup();
+    chosen
+}
+
+/// DITA distance: DTW over curvature-selected pivots with spatio-temporal
+/// point costs.
+pub fn dita(a: &Trajectory, b: &Trajectory, cfg: DitaConfig) -> f64 {
+    let pa = select_pivots(a, cfg.num_pivots);
+    let pb = select_pivots(b, cfg.num_pivots);
+    let ap = a.points();
+    let bp = b.points();
+    let m = pb.len();
+
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for &ia in &pa {
+        cur[0] = f64::INFINITY;
+        for (j, &jb) in pb.iter().enumerate() {
+            let cost = st_point_cost(&ap[ia], &bp[jb], cfg.time_weight);
+            let best = prev[j].min(prev[j + 1]).min(cur[j]);
+            cur[j + 1] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(coords: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::from_xyt(coords).unwrap()
+    }
+
+    #[test]
+    fn identical_zero() {
+        let a = st(&[(0.0, 0.0, 0.0), (1.0, 0.0, 0.3), (2.0, 1.0, 0.6)]);
+        assert_eq!(dita(&a, &a, DitaConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = st(&[(0.0, 0.0, 0.0), (1.0, 0.0, 0.3), (2.0, 1.0, 0.6)]);
+        let b = st(&[(0.0, 0.5, 0.1), (2.0, 0.5, 0.8)]);
+        let cfg = DitaConfig::default();
+        assert!((dita(&a, &b, cfg) - dita(&b, &a, cfg)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivots_keep_endpoints_and_order() {
+        let t = st(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 0.0, 0.1),
+            (2.0, 5.0, 0.2), // sharp turn
+            (3.0, 0.0, 0.3),
+            (4.0, 0.0, 0.4),
+            (5.0, 0.0, 0.5),
+        ]);
+        let piv = select_pivots(&t, 4);
+        assert_eq!(piv[0], 0);
+        assert_eq!(*piv.last().unwrap(), 5);
+        assert!(piv.windows(2).all(|w| w[0] < w[1]));
+        assert!(piv.contains(&2), "sharp turn must be a pivot: {piv:?}");
+    }
+
+    #[test]
+    fn short_trajectory_uses_all_points() {
+        let t = st(&[(0.0, 0.0, 0.0), (1.0, 0.0, 0.5)]);
+        assert_eq!(select_pivots(&t, 8), vec![0, 1]);
+    }
+
+    #[test]
+    fn pivot_count_capped() {
+        let coords: Vec<(f64, f64, f64)> = (0..50)
+            .map(|i| (i as f64, ((i * 7) % 5) as f64, i as f64 * 0.01))
+            .collect();
+        let t = st(&coords);
+        assert!(select_pivots(&t, 6).len() <= 6);
+    }
+
+    #[test]
+    fn dita_at_most_full_dtw_cost_shape() {
+        // With enough pivots DITA degenerates to full spatio-temporal DTW.
+        let a = st(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.2), (2.0, 0.0, 0.4)]);
+        let b = st(&[(0.0, 0.1, 0.0), (2.0, 0.1, 0.5)]);
+        let full = dita(&a, &b, DitaConfig { num_pivots: 100, time_weight: 1.0 });
+        assert!(full.is_finite() && full > 0.0);
+    }
+}

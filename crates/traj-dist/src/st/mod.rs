@@ -1,0 +1,23 @@
+//! Spatio-temporal similarity measures (the paper's Table IV targets).
+//!
+//! The exact TP and DITA definitions live in their own papers and depend on
+//! road networks and pivot machinery we do not have; per the substitution
+//! rule these are documented simplifications that preserve the property
+//! under test — spatio-temporal point-sequence aggregates that are *not*
+//! guaranteed to satisfy the triangle inequality. Discrete Fréchet (the
+//! third Table IV measure) is exact and lives in [`crate::frechet`].
+
+mod dita;
+mod tp;
+
+pub use dita::{dita, DitaConfig};
+pub use tp::{tp, TpConfig};
+
+use traj_core::Point;
+
+/// Spatio-temporal point cost: Euclidean distance plus a weighted absolute
+/// time gap. The weight converts seconds into the spatial unit.
+#[inline]
+pub fn st_point_cost(p: &Point, q: &Point, time_weight: f64) -> f64 {
+    p.dist(q) + time_weight * p.time_gap(q)
+}

@@ -1,0 +1,92 @@
+//! TP distance: a closest-pair spatio-temporal aggregate.
+//!
+//! Simplification of the table-IV "TP" measure: for each point of one
+//! trajectory take the cheapest spatio-temporally weighted counterpart in
+//! the other, average, then symmetrize by the max (the original TP takes
+//! the maximum of the two directed spatial/temporal components). Like SSPD
+//! it is non-negative and symmetric but not a metric.
+
+use super::st_point_cost;
+use traj_core::Trajectory;
+
+/// Parameters for [`tp`].
+#[derive(Debug, Clone, Copy)]
+pub struct TpConfig {
+    /// Weight converting time gaps into spatial units.
+    pub time_weight: f64,
+}
+
+impl Default for TpConfig {
+    fn default() -> Self {
+        // Data is normalized to the unit square with time in [0,1]; equal
+        // weighting is the natural default.
+        TpConfig { time_weight: 1.0 }
+    }
+}
+
+fn directed(a: &Trajectory, b: &Trajectory, cfg: TpConfig) -> f64 {
+    let mut acc = 0.0;
+    for p in a.points() {
+        let mut best = f64::INFINITY;
+        for q in b.points() {
+            let c = st_point_cost(p, q, cfg.time_weight);
+            if c < best {
+                best = c;
+            }
+        }
+        acc += best;
+    }
+    acc / a.len() as f64
+}
+
+/// TP distance: `max(directed(a→b), directed(b→a))`.
+pub fn tp(a: &Trajectory, b: &Trajectory, cfg: TpConfig) -> f64 {
+    directed(a, b, cfg).max(directed(b, a, cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(coords: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::from_xyt(coords).unwrap()
+    }
+
+    #[test]
+    fn identical_zero() {
+        let a = st(&[(0.0, 0.0, 0.0), (1.0, 0.0, 0.5)]);
+        assert_eq!(tp(&a, &a, TpConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = st(&[(0.0, 0.0, 0.0), (1.0, 0.0, 0.5)]);
+        let b = st(&[(0.0, 0.2, 0.1), (1.5, 0.0, 0.9)]);
+        let cfg = TpConfig::default();
+        assert_eq!(tp(&a, &b, cfg), tp(&b, &a, cfg));
+    }
+
+    #[test]
+    fn time_misalignment_costs() {
+        // Same spatial path, shifted timestamps → nonzero TP.
+        let a = st(&[(0.0, 0.0, 0.0), (1.0, 0.0, 0.2)]);
+        let b = st(&[(0.0, 0.0, 0.5), (1.0, 0.0, 0.7)]);
+        let d = tp(&a, &b, TpConfig::default());
+        assert!((d - 0.5).abs() < 1e-9, "d={d}");
+    }
+
+    #[test]
+    fn time_weight_scales_temporal_part() {
+        let a = st(&[(0.0, 0.0, 0.0)]);
+        let b = st(&[(0.0, 0.0, 1.0)]);
+        assert_eq!(tp(&a, &b, TpConfig { time_weight: 0.0 }), 0.0);
+        assert_eq!(tp(&a, &b, TpConfig { time_weight: 2.0 }), 2.0);
+    }
+
+    #[test]
+    fn untimestamped_falls_back_to_spatial() {
+        let a = Trajectory::from_xy(&[(0.0, 0.0), (1.0, 0.0)]).unwrap();
+        let b = Trajectory::from_xy(&[(0.0, 1.0), (1.0, 1.0)]).unwrap();
+        assert!((tp(&a, &b, TpConfig::default()) - 1.0).abs() < 1e-12);
+    }
+}

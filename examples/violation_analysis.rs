@@ -1,0 +1,61 @@
+//! Violation analysis: reproduces the paper's motivating mathematics on
+//! live data — Example 1's DTW triangle violation, dataset-level RV/ARVS
+//! (Definitions 10–11), and the Theorem 6 vs Theorem 7 projection
+//! behaviour.
+//!
+//! Run with: `cargo run --release --example violation_analysis`
+
+use lh_repro::data::{generate, DatasetPreset};
+use lh_repro::dist::{dtw, pairwise_matrix, MeasureKind};
+use lh_repro::hyperbolic::analysis::{lorentz_violation_example, radial_degradation_curve};
+use lh_repro::hyperbolic::{Projection, ProjectionKind};
+use lh_repro::metrics::{ratio_of_violation, sample_triplets};
+use lh_repro::traj::normalize::Normalizer;
+use lh_repro::traj::Trajectory;
+
+fn main() {
+    // --- Paper Example 1: DTW violates the triangle inequality --------
+    let ta = Trajectory::from_xy(&[(0.0, 0.0), (0.0, 1.0), (0.0, 3.0)]).unwrap();
+    let tb = Trajectory::from_xy(&[(2.0, 0.0), (0.0, 1.0), (2.0, 3.0)]).unwrap();
+    let tc = Trajectory::from_xy(&[(3.0, 0.0), (3.0, 1.0), (4.0, 3.0), (5.0, 3.0)]).unwrap();
+    let (ab, bc, ac) = (dtw(&ta, &tb), dtw(&tb, &tc), dtw(&ta, &tc));
+    println!("Example 1 (paper): DTW(a,b)={ab}, DTW(b,c)={bc}, DTW(a,c)={ac}");
+    println!("  violation: {} > {} + {} → {}", ac, ab, bc, ac > ab + bc);
+
+    // --- Dataset-level violation statistics (Table I machinery) -------
+    let raw = generate(DatasetPreset::Chengdu, 100, 42);
+    let data = Normalizer::fit(&raw).unwrap().dataset(&raw);
+    let triplets = sample_triplets(data.len(), 50_000, 1);
+    println!("\nviolation statistics on {} chengdu-like trips:", data.len());
+    for kind in [MeasureKind::Dtw, MeasureKind::Sspd, MeasureKind::Hausdorff] {
+        let matrix = pairwise_matrix(data.trajectories(), &kind.measure());
+        let stats = ratio_of_violation(&matrix, &triplets);
+        println!(
+            "  {:<10} RV = {:>5.1}%   ARVS = {:.3}   ({} of {} triples)",
+            kind.name(),
+            stats.rv * 100.0,
+            stats.arvs,
+            stats.violations,
+            stats.triples
+        );
+    }
+    println!("  (Hausdorff is a metric — its RV must be exactly 0)");
+
+    // --- Lemma 5: the Lorentz distance admits violations ---------------
+    let (ab, bc, ac) = lorentz_violation_example(1.0);
+    println!("\nLemma 5 witness in H(1): d(a,b)={ab:.3}, d(b,c)={bc:.3}, d(a,c)={ac:.3}");
+    println!("  d(a,c) > d(a,b)+d(b,c) → {}", ac > ab + bc);
+
+    // --- Theorem 6 vs Theorem 7: projection degradation ----------------
+    let offsets = [1.0, 4.0, 8.0, 12.0];
+    let vanilla = Projection { kind: ProjectionKind::Vanilla, beta: 1.0, c: 2.0 };
+    let cosh = Projection { kind: ProjectionKind::Cosh, beta: 1.0, c: 2.0 };
+    println!("\nLorentz distance of a unit-gap pair vs distance from origin:");
+    println!("  offset   vanilla φ     cosh φ");
+    let vc = radial_degradation_curve(&vanilla, 4, 1.0, &offsets);
+    let cc = radial_degradation_curve(&cosh, 4, 1.0, &offsets);
+    for (v, c) in vc.iter().zip(&cc) {
+        println!("  {:>6}   {:>9.5}   {:>9.5}", v.offset, v.lorentz_distance, c.lorentz_distance);
+    }
+    println!("  (vanilla decays toward 0 — Theorem 6; cosh is flat — Theorem 7)");
+}

@@ -1,0 +1,103 @@
+//! Integration tests pinning the paper's worked examples and lemmas
+//! through the public facade API.
+
+use lh_repro::dist::{dtw, MeasureKind};
+use lh_repro::hyperbolic::analysis::lorentz_violation_example;
+use lh_repro::hyperbolic::{cosh_project, lorentz_inner, vanilla_project, HyperbolicPoint};
+use lh_repro::metrics::{ratio_of_violation, rvs, sample_triplets, tvf};
+use lh_repro::traj::Trajectory;
+use traj_dist::DistanceMatrix;
+
+/// Paper Example 1: the canonical DTW triangle violation.
+#[test]
+fn example_1_dtw_violation() {
+    let ta = Trajectory::from_xy(&[(0.0, 0.0), (0.0, 1.0), (0.0, 3.0)]).unwrap();
+    let tb = Trajectory::from_xy(&[(2.0, 0.0), (0.0, 1.0), (2.0, 3.0)]).unwrap();
+    let tc = Trajectory::from_xy(&[(3.0, 0.0), (3.0, 1.0), (4.0, 3.0), (5.0, 3.0)]).unwrap();
+    assert_eq!(dtw(&ta, &tb), 4.0);
+    assert_eq!(dtw(&tb, &tc), 9.0);
+    assert_eq!(dtw(&ta, &tc), 15.0);
+    assert!(tvf(4.0, 15.0, 9.0), "Example 1 is a TVF-positive triple");
+}
+
+/// Paper Example 12: RV = 1/4, ARVS = 2/3 on the four-trajectory dataset.
+#[test]
+fn example_12_rv_arvs() {
+    let mut data = vec![0.0; 16];
+    let mut set = |i: usize, j: usize, v: f64| {
+        data[i * 4 + j] = v;
+        data[j * 4 + i] = v;
+    };
+    set(0, 1, 5.0);
+    set(0, 2, 2.0);
+    set(1, 2, 1.0);
+    set(0, 3, 10.0);
+    set(1, 3, 10.0);
+    set(2, 3, 10.0);
+    let matrix = DistanceMatrix::from_raw(4, 4, data);
+    let stats = ratio_of_violation(&matrix, &sample_triplets(4, 10, 0));
+    assert!((stats.rv - 0.25).abs() < 1e-12);
+    assert!((stats.arvs - 2.0 / 3.0).abs() < 1e-12);
+    assert!((rvs(5.0, 2.0, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+}
+
+/// Lemma 4 (non-negativity, zero iff equal) and Lemma 5 (violations
+/// exist) for the Lorentz distance.
+#[test]
+fn lemmas_4_and_5() {
+    for beta in [0.5, 1.0, 2.0] {
+        let p = HyperbolicPoint::from_spatial(&[0.4, -1.0], beta);
+        let q = HyperbolicPoint::from_spatial(&[2.0, 0.3], beta);
+        assert!(p.lorentz_distance(&p).abs() < 1e-9, "d(a,a) = 0");
+        assert!(p.lorentz_distance(&q) > 0.0, "d(a,b) > 0 for a ≠ b");
+        let (ab, bc, ac) = lorentz_violation_example(beta);
+        assert!(ac > ab + bc, "Lemma 5 witness for β = {beta}");
+    }
+}
+
+/// Definition 2 membership for both projections across β.
+#[test]
+fn projections_land_on_hyperboloid() {
+    let xs: [&[f64]; 3] = [&[0.0, 0.0], &[1.0, -1.0], &[3.0, 4.0]];
+    for beta in [0.5, 1.0, 4.0] {
+        for x in xs {
+            for p in [cosh_project(x, beta, 4.0), vanilla_project(x, beta)] {
+                let inner = lorentz_inner(p.coords(), p.coords());
+                let tol = 1e-9 * (1.0 + p.coords()[0].powi(2));
+                assert!((inner + beta).abs() < tol, "⟨a,a⟩ = {inner} ≠ −{beta}");
+                assert!(p.coords()[0] >= beta.sqrt() - 1e-12, "a₀ ≥ √β");
+            }
+        }
+    }
+}
+
+/// The measure registry's metric/non-metric split matches Section V-A:
+/// metric controls show RV = 0, non-metric measures violate on city data.
+#[test]
+fn measure_registry_violation_split() {
+    let raw = lh_repro::data::generate(lh_repro::data::DatasetPreset::Porto, 60, 5);
+    let data = lh_repro::traj::normalize::Normalizer::fit(&raw)
+        .unwrap()
+        .dataset(&raw);
+    let triplets = sample_triplets(data.len(), 20_000, 2);
+    for kind in [MeasureKind::Dtw, MeasureKind::Sspd] {
+        let m = lh_repro::dist::pairwise_matrix(data.trajectories(), &kind.measure());
+        let stats = ratio_of_violation(&m, &triplets);
+        assert!(
+            stats.rv > 0.02,
+            "{} should violate on city data (rv = {})",
+            kind.name(),
+            stats.rv
+        );
+    }
+    for kind in [MeasureKind::Hausdorff, MeasureKind::DiscreteFrechet, MeasureKind::Erp] {
+        let m = lh_repro::dist::pairwise_matrix(data.trajectories(), &kind.measure());
+        let stats = ratio_of_violation(&m, &triplets);
+        assert!(
+            stats.rv < 1e-9,
+            "{} is a metric but rv = {}",
+            kind.name(),
+            stats.rv
+        );
+    }
+}
