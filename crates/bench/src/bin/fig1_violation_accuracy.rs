@@ -19,11 +19,7 @@ use serde::Serialize;
 use traj_dist::pairwise_matrix;
 
 /// Mean relative violation of the query's neighborhood triples.
-fn query_violation_degree(
-    gt_row: &[f64],
-    db_matrix: &traj_dist::DistanceMatrix,
-    k: usize,
-) -> f64 {
+fn query_violation_degree(gt_row: &[f64], db_matrix: &traj_dist::DistanceMatrix, k: usize) -> f64 {
     let ranking = rank_by_distance(gt_row, None);
     let top: Vec<usize> = ranking.into_iter().take(k).collect();
     let mut acc = 0.0;
@@ -66,7 +62,10 @@ struct Bucket {
 
 fn main() {
     let args = Args::parse();
-    print_header("Fig. 1", "embedding accuracy vs triangle-inequality violation");
+    print_header(
+        "Fig. 1",
+        "embedding accuracy vs triangle-inequality violation",
+    );
 
     let mut spec = default_spec(&args);
     spec.trainer.epochs = args.get("epochs", 30usize);
@@ -99,13 +98,7 @@ fn main() {
         let idx: Vec<usize> = degrees
             .iter()
             .enumerate()
-            .filter(|(_, &d)| {
-                if b == 3 {
-                    d >= lo
-                } else {
-                    d >= lo && d < hi
-                }
-            })
+            .filter(|(_, &d)| if b == 3 { d >= lo } else { d >= lo && d < hi })
             .map(|(i, _)| i)
             .collect();
         if idx.is_empty() {

@@ -20,10 +20,7 @@ use lh_metrics::Histogram;
 use serde::Serialize;
 use traj_dist::{pairwise_matrix, DistanceMatrix};
 
-fn model_rvs(
-    store: &EmbeddingStore,
-    triples: &[(usize, usize, usize)],
-) -> Vec<f64> {
+fn model_rvs(store: &EmbeddingStore, triples: &[(usize, usize, usize)]) -> Vec<f64> {
     triples
         .iter()
         .map(|&(i, j, k)| {
@@ -66,7 +63,11 @@ fn main() {
     // Violating triples of the database under the ground truth.
     let measure = spec.measure.measure();
     let gt: DistanceMatrix = pairwise_matrix(orig.database.trajectories(), &measure);
-    let sample = sample_triplets(orig.database.len(), args.get("triples", 4000usize), spec.seed);
+    let sample = sample_triplets(
+        orig.database.len(),
+        args.get("triples", 4000usize),
+        spec.seed,
+    );
     let violating: Vec<(usize, usize, usize)> = sample
         .triples()
         .iter()

@@ -28,7 +28,10 @@ fn fluctuation(series: &[f64]) -> f64 {
 
 fn main() {
     let args = Args::parse();
-    print_header("Fig. 7", "robustness: training curves, original vs LH-plugin");
+    print_header(
+        "Fig. 7",
+        "robustness: training curves, original vs LH-plugin",
+    );
 
     let mut curves = Vec::new();
     for variant in [PluginVariant::Original, PluginVariant::FusionDist] {

@@ -66,9 +66,7 @@ fn main() {
         "Table I",
         "triangle-inequality constraint variability (RV / ARVS)",
     );
-    let mut table = Table::new(&[
-        "dataset", "measure", "RV", "ARVS", "paper RV", "paper ARVS",
-    ]);
+    let mut table = Table::new(&["dataset", "measure", "RV", "ARVS", "paper RV", "paper ARVS"]);
     let mut cells = Vec::new();
     for preset in DatasetPreset::PAPER_SETS {
         let raw = lh_data::generate(preset, n, seed);
@@ -105,7 +103,11 @@ fn main() {
     let normalized = Normalizer::fit(&raw).expect("non-degenerate").dataset(&raw);
     let triplets = sample_triplets(normalized.len(), max_triplets, seed);
     println!("\ncontrols (metric measures, expect RV = 0):");
-    for kind in [MeasureKind::Hausdorff, MeasureKind::DiscreteFrechet, MeasureKind::Erp] {
+    for kind in [
+        MeasureKind::Hausdorff,
+        MeasureKind::DiscreteFrechet,
+        MeasureKind::Erp,
+    ] {
         let matrix = pairwise_matrix(normalized.trajectories(), &kind.measure());
         let stats = ratio_of_violation(&matrix, &triplets);
         println!("  {:<18} RV = {}%", kind.name(), pct(stats.rv));

@@ -31,7 +31,10 @@ struct CellOut {
 
 fn main() {
     let args = Args::parse();
-    print_header("Table III", "accuracy, original vs LH-plugin (spatial models)");
+    print_header(
+        "Table III",
+        "accuracy, original vs LH-plugin (spatial models)",
+    );
     let presets = if args.flag("fast") {
         vec![DatasetPreset::Chengdu]
     } else {
@@ -40,7 +43,11 @@ fn main() {
     let models = if args.flag("fast") {
         vec![ModelKind::Traj2SimVec]
     } else {
-        vec![ModelKind::Neutraj, ModelKind::TrajGat, ModelKind::Traj2SimVec]
+        vec![
+            ModelKind::Neutraj,
+            ModelKind::TrajGat,
+            ModelKind::Traj2SimVec,
+        ]
     };
     let measures = MeasureKind::SPATIAL;
 

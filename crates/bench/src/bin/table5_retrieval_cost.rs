@@ -73,7 +73,12 @@ fn main() {
     let cfg_full = PluginConfig::paper_default();
 
     let mut table = Table::new(&[
-        "trajectories", "plugin", "time/query", "memory", "Δtime", "Δmemory",
+        "trajectories",
+        "plugin",
+        "time/query",
+        "memory",
+        "Δtime",
+        "Δmemory",
     ]);
     let mut rows = Vec::new();
     for &n in &sizes {

@@ -30,11 +30,21 @@ fn main() {
     let models = if args.flag("fast") {
         vec![ModelKind::Traj2SimVec]
     } else {
-        vec![ModelKind::Neutraj, ModelKind::TrajGat, ModelKind::Traj2SimVec]
+        vec![
+            ModelKind::Neutraj,
+            ModelKind::TrajGat,
+            ModelKind::Traj2SimVec,
+        ]
     };
 
     let mut table = Table::new(&[
-        "model", "sim", "metric", "original", "lh-vanilla", "lh-cosh", "fusion-dist",
+        "model",
+        "sim",
+        "metric",
+        "original",
+        "lh-vanilla",
+        "lh-cosh",
+        "fusion-dist",
     ]);
     let mut cells: Vec<CellOut> = Vec::new();
     for &model in &models {
@@ -62,7 +72,10 @@ fn main() {
                 );
             }
             for (metric, f) in [
-                ("HR@5", Box::new(|e: &RankingEval| e.hr5) as Box<dyn Fn(&RankingEval) -> f64>),
+                (
+                    "HR@5",
+                    Box::new(|e: &RankingEval| e.hr5) as Box<dyn Fn(&RankingEval) -> f64>,
+                ),
                 ("HR@10", Box::new(|e: &RankingEval| e.hr10)),
                 ("HR@50", Box::new(|e: &RankingEval| e.hr50)),
             ] {

@@ -88,9 +88,18 @@ mod tests {
     #[test]
     fn overrides_apply() {
         let args = Args::from_args(
-            ["--n", "50", "--queries", "45", "--measure", "sspd", "--model", "neutraj"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--n",
+                "50",
+                "--queries",
+                "45",
+                "--measure",
+                "sspd",
+                "--model",
+                "neutraj",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         let spec = default_spec(&args);
         assert_eq!(spec.n, 50);

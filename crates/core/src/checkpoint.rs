@@ -64,7 +64,9 @@ impl Checkpoint {
             )));
         }
         if !ck.params.all_finite() {
-            return Err(io::Error::other("checkpoint contains non-finite parameters"));
+            return Err(io::Error::other(
+                "checkpoint contains non-finite parameters",
+            ));
         }
         Ok(ck)
     }

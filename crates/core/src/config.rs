@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn ablation_rows_match_paper() {
         let names: Vec<&str> = PluginVariant::ABLATION.iter().map(|v| v.name()).collect();
-        assert_eq!(names, vec!["original", "lh-vanilla", "lh-cosh", "fusion-dist"]);
+        assert_eq!(
+            names,
+            vec!["original", "lh-vanilla", "lh-cosh", "fusion-dist"]
+        );
     }
 
     #[test]

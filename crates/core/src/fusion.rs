@@ -32,13 +32,7 @@ pub struct FactorEncoder {
 impl FactorEncoder {
     /// Registers parameters under the `fusion.*` namespace.
     pub fn new(config: &PluginConfig, store: &mut ParamStore, rng: &mut StdRng) -> Self {
-        let lstm = LstmCell::new(
-            "fusion.lstm",
-            SPATIAL_DIM,
-            config.fusion_hidden,
-            store,
-            rng,
-        );
+        let lstm = LstmCell::new("fusion.lstm", SPATIAL_DIM, config.fusion_hidden, store, rng);
         let head = Linear::new(
             "fusion.head",
             config.fusion_hidden,
@@ -60,12 +54,7 @@ impl FactorEncoder {
 
     /// Encodes a batch into positive factors `B×2f`
     /// (`[V_Lo | V_Eu]` column blocks).
-    pub fn encode_batch(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        trajs: &[&Trajectory],
-    ) -> Var {
+    pub fn encode_batch(&self, tape: &mut Tape, store: &ParamStore, trajs: &[&Trajectory]) -> Var {
         assert!(!trajs.is_empty(), "empty batch");
         let seqs: Vec<_> = trajs.iter().map(|t| point_features(t)).collect();
         let (steps, masks) = batch_steps(tape, &seqs, (0, SPATIAL_DIM));
@@ -118,7 +107,10 @@ mod tests {
         let f = enc.encode_batch(&mut tape, &store, &refs);
         let v = tape.value(f);
         assert_eq!(v.shape(), (2, 16)); // 2f with f = 8
-        assert!(v.data().iter().all(|&x| x > 0.0), "softplus must be positive");
+        assert!(
+            v.data().iter().all(|&x| x > 0.0),
+            "softplus must be positive"
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ pub fn evaluate_model(
 
 /// Runs one full experiment.
 pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentOutcome {
-    assert!(spec.n_queries < spec.n, "need at least one database trajectory");
+    assert!(
+        spec.n_queries < spec.n,
+        "need at least one database trajectory"
+    );
     // 1. Data: generate, normalize on the full set, split.
     let raw = lh_data::generate(spec.preset, spec.n, spec.seed);
     let normalizer = Normalizer::fit(&raw).expect("generated data is non-degenerate");
@@ -128,15 +131,9 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentOutcome {
     let database_ref = &database;
     let gt_rows_ref = &gt_rows;
     let eval_every = spec.eval_every_epoch;
-    let report = trainer.train(
-        &mut model,
-        database.trajectories(),
-        &train_gt,
-        |_, m| {
-            eval_every
-                .then(|| evaluate_model(m, queries_ref, database_ref, gt_rows_ref).hr10)
-        },
-    );
+    let report = trainer.train(&mut model, database.trajectories(), &train_gt, |_, m| {
+        eval_every.then(|| evaluate_model(m, queries_ref, database_ref, gt_rows_ref).hr10)
+    });
 
     // 4. Final evaluation.
     let eval = evaluate_model(&model, &queries, &database, &gt_rows);

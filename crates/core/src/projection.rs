@@ -66,11 +66,7 @@ mod tests {
     use lh_nn::Tensor;
 
     fn rows() -> Tensor {
-        Tensor::from_vec(
-            3,
-            2,
-            vec![0.5, -0.3, 2.0, 1.0, 0.0, 0.0],
-        )
+        Tensor::from_vec(3, 2, vec![0.5, -0.3, 2.0, 1.0, 0.0, 0.0])
     }
 
     #[test]
@@ -140,12 +136,8 @@ mod tests {
                 let v = tape.value(p).clone();
                 for r in 0..2 {
                     let row = v.row(r);
-                    let inner: f32 = -row[0] * row[0]
-                        + row[1..].iter().map(|a| a * a).sum::<f32>();
-                    assert!(
-                        (inner + beta).abs() < 1e-3,
-                        "⟨a,a⟩ = {inner} ≠ −{beta}"
-                    );
+                    let inner: f32 = -row[0] * row[0] + row[1..].iter().map(|a| a * a).sum::<f32>();
+                    assert!((inner + beta).abs() < 1e-3, "⟨a,a⟩ = {inner} ≠ −{beta}");
                 }
             }
         }

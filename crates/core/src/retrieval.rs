@@ -37,17 +37,16 @@ pub struct RetrievalResult {
 
 impl EmbeddingStore {
     /// Empty store for embeddings of width `dim`.
-    pub fn new(
-        dim: usize,
-        variant: PluginVariant,
-        beta: f32,
-        factor_dim: Option<usize>,
-    ) -> Self {
+    pub fn new(dim: usize, variant: PluginVariant, beta: f32, factor_dim: Option<usize>) -> Self {
         EmbeddingStore {
             dim,
             variant,
             beta,
-            factor_dim: if variant.uses_fusion() { factor_dim } else { None },
+            factor_dim: if variant.uses_fusion() {
+                factor_dim
+            } else {
+                None
+            },
             n: 0,
             eu: Vec::new(),
             hyper: Vec::new(),
@@ -229,7 +228,7 @@ mod tests {
     #[allow(clippy::approx_constant)] // the test rows intentionally lie on H(1): x0 = √(‖x‖²+1)
     fn store_with_rows(variant: PluginVariant) -> EmbeddingStore {
         let mut s = EmbeddingStore::new(2, variant, 1.0, Some(2));
-        let rows: [( [f32; 2], [f32; 3], [f32; 4]); 3] = [
+        let rows: [([f32; 2], [f32; 3], [f32; 4]); 3] = [
             ([0.0, 0.0], [1.0, 0.0, 0.0], [1.0, 1.0, 1.0, 1.0]),
             ([1.0, 0.0], [1.41421, 1.0, 0.0], [2.0, 1.0, 0.5, 0.5]),
             ([0.0, 3.0], [3.16228, 0.0, 3.0], [0.5, 0.5, 2.0, 2.0]),

@@ -8,9 +8,7 @@
 //! weighted squared error against the normalized ground truth.
 
 use crate::config::{PluginConfig, PluginVariant};
-use crate::distance::{
-    euclidean_distance_rows, fused_distance_rows, lorentz_distance_rows,
-};
+use crate::distance::{euclidean_distance_rows, fused_distance_rows, lorentz_distance_rows};
 use crate::fusion::FactorEncoder;
 use crate::projection::project_rows;
 use crate::retrieval::EmbeddingStore;
@@ -302,10 +300,7 @@ impl Trainer {
                 let targets = Tensor::from_vec(
                     batch.len(),
                     1,
-                    batch
-                        .iter()
-                        .map(|p| (p.target / scale) as f32)
-                        .collect(),
+                    batch.iter().map(|p| (p.target / scale) as f32).collect(),
                 );
                 let weights = Tensor::from_vec(
                     batch.len(),

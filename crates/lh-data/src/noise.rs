@@ -81,8 +81,14 @@ mod tests {
     use rand::SeedableRng;
 
     fn base() -> Trajectory {
-        Trajectory::from_xy(&[(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (30.0, 0.0), (40.0, 0.0)])
-            .unwrap()
+        Trajectory::from_xy(&[
+            (0.0, 0.0),
+            (10.0, 0.0),
+            (20.0, 0.0),
+            (30.0, 0.0),
+            (40.0, 0.0),
+        ])
+        .unwrap()
     }
 
     #[test]

@@ -51,17 +51,10 @@ impl HyperbolicPoint {
         }
         let self_inner = lorentz_inner(&coords, &coords);
         if (self_inner + beta).abs() > tol {
-            return Err(format!(
-                "⟨a,a⟩ = {self_inner}, expected −β = {}",
-                -beta
-            ));
+            return Err(format!("⟨a,a⟩ = {self_inner}, expected −β = {}", -beta));
         }
         if coords[0] < beta.sqrt() - tol {
-            return Err(format!(
-                "a₀ = {} below √β = {}",
-                coords[0],
-                beta.sqrt()
-            ));
+            return Err(format!("a₀ = {} below √β = {}", coords[0], beta.sqrt()));
         }
         Ok(HyperbolicPoint { coords, beta })
     }

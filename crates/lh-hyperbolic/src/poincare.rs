@@ -25,7 +25,10 @@ pub fn to_poincare(p: &HyperbolicPoint) -> Vec<f64> {
 /// on `H(β)`.
 pub fn from_poincare(y: &[f64], beta: f64) -> HyperbolicPoint {
     let norm_sq: f64 = y.iter().map(|v| v * v).sum();
-    assert!(norm_sq < 1.0, "Poincaré coordinates must lie in the unit ball");
+    assert!(
+        norm_sq < 1.0,
+        "Poincaré coordinates must lie in the unit ball"
+    );
     let sqrt_beta = beta.sqrt();
     let scale = sqrt_beta / (1.0 - norm_sq);
     let mut coords = Vec::with_capacity(y.len() + 1);
@@ -83,8 +86,7 @@ mod tests {
             let p = HyperbolicPoint::from_spatial(&[0.4, 0.9], beta);
             let q = HyperbolicPoint::from_spatial(&[-1.0, 0.2], beta);
             let lorentz_d = p.geodesic_distance(&q);
-            let poincare_d =
-                poincare_distance(&to_poincare(&p), &to_poincare(&q), beta);
+            let poincare_d = poincare_distance(&to_poincare(&p), &to_poincare(&q), beta);
             assert!(
                 (lorentz_d - poincare_d).abs() < 1e-9,
                 "β={beta}: {lorentz_d} vs {poincare_d}"

@@ -266,7 +266,10 @@ mod tests {
             vanilla_prev = v;
             assert!(h > 0.1, "cosh distance collapsed: {h} at offset {o}");
         }
-        assert!(vanilla_prev < 1e-3, "vanilla did not degrade: {vanilla_prev}");
+        assert!(
+            vanilla_prev < 1e-3,
+            "vanilla did not degrade: {vanilla_prev}"
+        );
     }
 
     #[test]

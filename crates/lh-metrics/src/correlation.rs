@@ -33,7 +33,11 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 /// Average ranks with midpoint tie handling.
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -34,7 +34,10 @@ pub fn hr_at_k(truth_ranking: &[usize], pred_ranking: &[usize], k: usize) -> f64
         return 0.0;
     }
     let truth: std::collections::HashSet<usize> = truth_ranking[..k].iter().copied().collect();
-    let hits = pred_ranking[..k].iter().filter(|i| truth.contains(i)).count();
+    let hits = pred_ranking[..k]
+        .iter()
+        .filter(|i| truth.contains(i))
+        .count();
     hits as f64 / k as f64
 }
 

@@ -189,7 +189,11 @@ mod tests {
         assert_eq!(sample.len(), 4);
         let stats = ratio_of_violation(&matrix, &sample);
         assert!((stats.rv - 0.25).abs() < 1e-12, "rv={}", stats.rv);
-        assert!((stats.arvs - 2.0 / 3.0).abs() < 1e-12, "arvs={}", stats.arvs);
+        assert!(
+            (stats.arvs - 2.0 / 3.0).abs() < 1e-12,
+            "arvs={}",
+            stats.arvs
+        );
         assert_eq!(stats.violations, 1);
     }
 

@@ -53,8 +53,12 @@ impl TrajectoryEncoder for St2VecEncoder {
         let seqs: Vec<_> = trajs.iter().map(|t| point_features(t)).collect();
         let (sp_steps, masks) = batch_steps(tape, &seqs, (0, SPATIAL_DIM));
         let (tm_steps, _) = batch_steps(tape, &seqs, (4, 6));
-        let hs = self.spatial.forward_sequence(tape, store, &sp_steps, &masks);
-        let ht = self.temporal.forward_sequence(tape, store, &tm_steps, &masks);
+        let hs = self
+            .spatial
+            .forward_sequence(tape, store, &sp_steps, &masks);
+        let ht = self
+            .temporal
+            .forward_sequence(tape, store, &tm_steps, &masks);
         let cat = tape.concat_cols(hs, ht);
         let g_pre = self.gate.forward(tape, store, cat);
         let g = tape.sigmoid(g_pre);

@@ -136,9 +136,6 @@ mod tests {
         let (_, enc, _) = build();
         let a = Trajectory::from_xyt(&[(0.3, 0.3, 0.05)]).unwrap();
         let b = Trajectory::from_xyt(&[(0.3, 0.3, 0.95)]).unwrap();
-        assert_ne!(
-            enc.grid().cell_sequence(&a),
-            enc.grid().cell_sequence(&b)
-        );
+        assert_ne!(enc.grid().cell_sequence(&a), enc.grid().cell_sequence(&b));
     }
 }

@@ -41,12 +41,7 @@ pub trait TrajectoryEncoder {
 
     /// Encodes a batch onto the tape → `B×d`. Inputs must be normalized
     /// trajectories from the same space the encoder was constructed on.
-    fn encode_batch(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        trajs: &[&Trajectory],
-    ) -> Var;
+    fn encode_batch(&self, tape: &mut Tape, store: &ParamStore, trajs: &[&Trajectory]) -> Var;
 }
 
 /// Registry of the paper's base models (Table II).
@@ -66,8 +61,11 @@ pub enum ModelKind {
 
 impl ModelKind {
     /// The three spatial models of the paper's Table III.
-    pub const SPATIAL: [ModelKind; 3] =
-        [ModelKind::Neutraj, ModelKind::TrajGat, ModelKind::Traj2SimVec];
+    pub const SPATIAL: [ModelKind; 3] = [
+        ModelKind::Neutraj,
+        ModelKind::TrajGat,
+        ModelKind::Traj2SimVec,
+    ];
 
     /// The two spatio-temporal models of Table IV.
     pub const SPATIO_TEMPORAL: [ModelKind; 2] = [ModelKind::St2Vec, ModelKind::Tedj];
@@ -94,21 +92,17 @@ impl ModelKind {
         rng: &mut StdRng,
     ) -> Box<dyn TrajectoryEncoder> {
         match self {
-            ModelKind::Neutraj => {
-                Box::new(crate::neutraj::NeutrajEncoder::new(config, dataset, store, rng))
-            }
-            ModelKind::TrajGat => {
-                Box::new(crate::trajgat::TrajGatEncoder::new(config, dataset, store, rng))
-            }
+            ModelKind::Neutraj => Box::new(crate::neutraj::NeutrajEncoder::new(
+                config, dataset, store, rng,
+            )),
+            ModelKind::TrajGat => Box::new(crate::trajgat::TrajGatEncoder::new(
+                config, dataset, store, rng,
+            )),
             ModelKind::Traj2SimVec => Box::new(crate::traj2simvec::Traj2SimVecEncoder::new(
                 config, store, rng,
             )),
-            ModelKind::St2Vec => {
-                Box::new(crate::st2vec::St2VecEncoder::new(config, store, rng))
-            }
-            ModelKind::Tedj => {
-                Box::new(crate::tedj::TedjEncoder::new(config, dataset, store, rng))
-            }
+            ModelKind::St2Vec => Box::new(crate::st2vec::St2VecEncoder::new(config, store, rng)),
+            ModelKind::Tedj => Box::new(crate::tedj::TedjEncoder::new(config, dataset, store, rng)),
         }
     }
 }

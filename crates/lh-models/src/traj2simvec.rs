@@ -26,13 +26,7 @@ pub struct Traj2SimVecEncoder {
 impl Traj2SimVecEncoder {
     /// Registers parameters.
     pub fn new(config: EncoderConfig, store: &mut ParamStore, rng: &mut StdRng) -> Self {
-        let lstm = LstmCell::new(
-            "t2sv.lstm",
-            SPATIAL_DIM,
-            config.hidden_dim,
-            store,
-            rng,
-        );
+        let lstm = LstmCell::new("t2sv.lstm", SPATIAL_DIM, config.hidden_dim, store, rng);
         let head = Linear::new("t2sv.head", config.hidden_dim, config.embed_dim, store, rng);
         Traj2SimVecEncoder {
             lstm,

@@ -105,13 +105,7 @@ mod tests {
         }
     }
 
-    fn tape_out(
-        tape: &mut Tape,
-        att: &SelfAttention,
-        store: &ParamStore,
-        q: Var,
-        kv: Var,
-    ) -> Var {
+    fn tape_out(tape: &mut Tape, att: &SelfAttention, store: &ParamStore, q: Var, kv: Var) -> Var {
         att.attend(tape, store, q, kv)
     }
 

@@ -252,7 +252,11 @@ mod tests {
         let mut tape = Tape::new();
         let step = |tape: &mut Tape, t: usize| {
             let a = &seq_a[t];
-            let b: &[f32] = if t < seq_b.len() { &seq_b[t] } else { &[9.9, 9.9] };
+            let b: &[f32] = if t < seq_b.len() {
+                &seq_b[t]
+            } else {
+                &[9.9, 9.9]
+            };
             tape.constant(Tensor::from_vec(2, 2, vec![a[0], a[1], b[0], b[1]]))
         };
         let xs: Vec<Var> = (0..3).map(|t| step(&mut tape, t)).collect();

@@ -46,11 +46,7 @@ impl ParamStore {
     }
 
     /// Registers a parameter only if absent, using `init` to build it.
-    pub fn get_or_insert_with(
-        &mut self,
-        name: &str,
-        init: impl FnOnce() -> Tensor,
-    ) -> &Tensor {
+    pub fn get_or_insert_with(&mut self, name: &str, init: impl FnOnce() -> Tensor) -> &Tensor {
         self.map.entry(name.to_string()).or_insert_with(init)
     }
 

@@ -86,10 +86,8 @@ impl Default for Tape {
 /// Validates broadcast compatibility of `b` against `a` and returns the
 /// value of `b` broadcast-expanded logically (via an index function).
 fn broadcast_check(a: (usize, usize), b: (usize, usize)) {
-    let ok = a == b
-        || (b.0 == 1 && b.1 == a.1)
-        || (b.1 == 1 && b.0 == a.0)
-        || (b.0 == 1 && b.1 == 1);
+    let ok =
+        a == b || (b.0 == 1 && b.1 == a.1) || (b.1 == 1 && b.0 == a.0) || (b.0 == 1 && b.1 == 1);
     assert!(ok, "cannot broadcast {b:?} against {a:?}");
 }
 
@@ -192,7 +190,11 @@ impl Tape {
         let mut out = Tensor::zeros(ar, ac);
         for r in 0..ar {
             for c in 0..ac {
-                out.set(r, c, self.nodes[a.0].value.get(r, c) + bcast_get(&self.nodes[b.0].value, r, c));
+                out.set(
+                    r,
+                    c,
+                    self.nodes[a.0].value.get(r, c) + bcast_get(&self.nodes[b.0].value, r, c),
+                );
             }
         }
         self.push(out, Op::Add(a.0, b.0))
@@ -205,7 +207,11 @@ impl Tape {
         let mut out = Tensor::zeros(ar, ac);
         for r in 0..ar {
             for c in 0..ac {
-                out.set(r, c, self.nodes[a.0].value.get(r, c) - bcast_get(&self.nodes[b.0].value, r, c));
+                out.set(
+                    r,
+                    c,
+                    self.nodes[a.0].value.get(r, c) - bcast_get(&self.nodes[b.0].value, r, c),
+                );
             }
         }
         self.push(out, Op::Sub(a.0, b.0))
@@ -218,7 +224,11 @@ impl Tape {
         let mut out = Tensor::zeros(ar, ac);
         for r in 0..ar {
             for c in 0..ac {
-                out.set(r, c, self.nodes[a.0].value.get(r, c) * bcast_get(&self.nodes[b.0].value, r, c));
+                out.set(
+                    r,
+                    c,
+                    self.nodes[a.0].value.get(r, c) * bcast_get(&self.nodes[b.0].value, r, c),
+                );
             }
         }
         self.push(out, Op::Mul(a.0, b.0))
@@ -231,7 +241,11 @@ impl Tape {
         let mut out = Tensor::zeros(ar, ac);
         for r in 0..ar {
             for c in 0..ac {
-                out.set(r, c, self.nodes[a.0].value.get(r, c) / bcast_get(&self.nodes[b.0].value, r, c));
+                out.set(
+                    r,
+                    c,
+                    self.nodes[a.0].value.get(r, c) / bcast_get(&self.nodes[b.0].value, r, c),
+                );
             }
         }
         self.push(out, Op::Div(a.0, b.0))
@@ -287,7 +301,11 @@ impl Tape {
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
-        self.unary(a, move |v| if v >= 0.0 { v } else { alpha * v }, Op::LeakyRelu(a.0, alpha))
+        self.unary(
+            a,
+            move |v| if v >= 0.0 { v } else { alpha * v },
+            Op::LeakyRelu(a.0, alpha),
+        )
     }
 
     /// `exp(a)`.
@@ -475,11 +493,7 @@ impl Tape {
     /// Runs reverse-mode differentiation from scalar `loss` (`1×1`).
     /// Gradients of all ancestors become available through [`Tape::grad`].
     pub fn backward(&mut self, loss: Var) {
-        assert_eq!(
-            self.shape(loss),
-            (1, 1),
-            "backward requires a scalar loss"
-        );
+        assert_eq!(self.shape(loss), (1, 1), "backward requires a scalar loss");
         self.grads = (0..self.nodes.len()).map(|_| None).collect();
         self.grads[loss.0] = Some(Tensor::scalar(1.0));
 
@@ -765,11 +779,7 @@ mod tests {
 
     /// Central finite-difference gradient of `f` w.r.t. a single input
     /// tensor, compared against the tape gradient.
-    fn gradcheck(
-        input: Tensor,
-        build: impl Fn(&mut Tape, Var) -> Var,
-        tol: f32,
-    ) {
+    fn gradcheck(input: Tensor, build: impl Fn(&mut Tape, Var) -> Var, tol: f32) {
         // Analytic gradient.
         let mut tape = Tape::new();
         let x = tape.constant(input.clone());

@@ -143,7 +143,8 @@ impl Tensor {
     /// Matrix multiplication `self(m×k) · other(k×n)`.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul shape mismatch: {:?} × {:?}",
             self.shape(),
             other.shape()

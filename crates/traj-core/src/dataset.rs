@@ -44,10 +44,12 @@ impl TrajectoryDataset {
 
     /// Checked access by index.
     pub fn get(&self, index: usize) -> Result<&Trajectory> {
-        self.trajectories.get(index).ok_or(TrajError::IndexOutOfRange {
-            index,
-            len: self.trajectories.len(),
-        })
+        self.trajectories
+            .get(index)
+            .ok_or(TrajError::IndexOutOfRange {
+                index,
+                len: self.trajectories.len(),
+            })
     }
 
     /// Global bounding box over all member trajectories.

@@ -121,7 +121,9 @@ impl SpatioTemporalGrid {
     /// Builds the grid; `t_slots` time buckets over `[t_min, t_max]`.
     pub fn new(spatial: UniformGrid, t_min: f64, t_max: f64, t_slots: usize) -> Result<Self> {
         if t_slots == 0 {
-            return Err(TrajError::InvalidConfig("need at least one time slot".into()));
+            return Err(TrajError::InvalidConfig(
+                "need at least one time slot".into(),
+            ));
         }
         if t_max <= t_min {
             return Err(TrajError::DegenerateRegion);

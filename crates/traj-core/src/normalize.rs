@@ -83,7 +83,10 @@ impl Normalizer {
     pub fn dataset(&self, d: &TrajectoryDataset) -> TrajectoryDataset {
         TrajectoryDataset::new(
             format!("{}-norm", d.name()),
-            d.trajectories().iter().map(|t| self.trajectory(t)).collect(),
+            d.trajectories()
+                .iter()
+                .map(|t| self.trajectory(t))
+                .collect(),
         )
     }
 

@@ -1,4 +1,4 @@
-//! Minimal scoped-thread parallelism built on `crossbeam`.
+//! Minimal scoped-thread parallelism built on `std::thread::scope`.
 //!
 //! Filling an N×N ground-truth distance matrix with an O(L²) measure is the
 //! single most expensive CPU step of every experiment, so it is chunked
@@ -33,18 +33,17 @@ where
     }
     let mut out = vec![T::default(); n];
     let chunk = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (ti, slot) in out.chunks_mut(chunk).enumerate() {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = ti * chunk;
                 for (j, s) in slot.iter_mut().enumerate() {
                     *s = f(base + j);
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     out
 }
 
@@ -66,11 +65,11 @@ where
     }
     let next = Mutex::new(0usize);
     let batch = (n / (threads * 8)).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let next = &next;
             let f = &f;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let start = {
                     let mut g = next.lock();
                     let s = *g;
@@ -85,8 +84,7 @@ where
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 #[cfg(test)]

@@ -88,7 +88,10 @@ impl Trajectory {
 
     /// Time span covered, zero for untimestamped trajectories.
     pub fn duration(&self) -> f64 {
-        match (self.points.first().and_then(|p| p.t), self.points.last().and_then(|p| p.t)) {
+        match (
+            self.points.first().and_then(|p| p.t),
+            self.points.last().and_then(|p| p.t),
+        ) {
             (Some(a), Some(b)) => b - a,
             _ => 0.0,
         }
@@ -193,7 +196,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(Trajectory::new(vec![]).unwrap_err(), TrajError::EmptyTrajectory);
+        assert_eq!(
+            Trajectory::new(vec![]).unwrap_err(),
+            TrajError::EmptyTrajectory
+        );
     }
 
     #[test]

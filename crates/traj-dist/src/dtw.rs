@@ -88,7 +88,10 @@ mod tests {
         assert!((ab - 4.0).abs() < 1e-9, "ab={ab}");
         assert!((bc - 9.0).abs() < 1e-9, "bc={bc}");
         assert!((ac - 15.0).abs() < 1e-9, "ac={ac}");
-        assert!(ac > ab + bc, "Example 1 must violate the triangle inequality");
+        assert!(
+            ac > ab + bc,
+            "Example 1 must violate the triangle inequality"
+        );
     }
 
     #[test]

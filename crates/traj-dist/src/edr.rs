@@ -27,7 +27,11 @@ pub fn edr(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
     for i in 1..=n {
         cur[0] = i as u32;
         for j in 1..=m {
-            let sub_cost = if matches(&ap[i - 1], &bp[j - 1], eps) { 0 } else { 1 };
+            let sub_cost = if matches(&ap[i - 1], &bp[j - 1], eps) {
+                0
+            } else {
+                1
+            };
             cur[j] = (prev[j - 1] + sub_cost)
                 .min(prev[j] + 1)
                 .min(cur[j - 1] + 1);

@@ -196,7 +196,11 @@ mod tests {
         let ts = trajs();
         let m = pairwise_matrix(&ts, &MeasureKind::Dtw.measure());
         let knn = m.knn_of_row(0, 3, Some(0));
-        assert_eq!(knn, vec![1, 2, 3], "nearest trajectories are consecutive offsets");
+        assert_eq!(
+            knn,
+            vec![1, 2, 3],
+            "nearest trajectories are consecutive offsets"
+        );
     }
 
     #[test]

@@ -147,7 +147,14 @@ mod tests {
         // With enough pivots DITA degenerates to full spatio-temporal DTW.
         let a = st(&[(0.0, 0.0, 0.0), (1.0, 1.0, 0.2), (2.0, 0.0, 0.4)]);
         let b = st(&[(0.0, 0.1, 0.0), (2.0, 0.1, 0.5)]);
-        let full = dita(&a, &b, DitaConfig { num_pivots: 100, time_weight: 1.0 });
+        let full = dita(
+            &a,
+            &b,
+            DitaConfig {
+                num_pivots: 100,
+                time_weight: 1.0,
+            },
+        );
         assert!(full.is_finite() && full > 0.0);
     }
 }

@@ -4,11 +4,11 @@
 //!
 //! Run with: `cargo run --release --example plugin_ablation`
 
-use lh_repro::plugin::pipeline::{run_experiment, ExperimentSpec};
-use lh_repro::plugin::{PluginVariant, TrainerConfig};
 use lh_repro::data::DatasetPreset;
 use lh_repro::dist::MeasureKind;
 use lh_repro::models::ModelKind;
+use lh_repro::plugin::pipeline::{run_experiment, ExperimentSpec};
+use lh_repro::plugin::{PluginVariant, TrainerConfig};
 
 fn main() {
     let mut spec = ExperimentSpec::quick();
@@ -22,8 +22,14 @@ fn main() {
         ..Default::default()
     };
 
-    println!("mini Table VI — Neutraj / SSPD / chengdu-like (n = {}):\n", spec.n);
-    println!("{:<12} {:>7} {:>7} {:>7}", "variant", "HR@5", "HR@10", "HR@50");
+    println!(
+        "mini Table VI — Neutraj / SSPD / chengdu-like (n = {}):\n",
+        spec.n
+    );
+    println!(
+        "{:<12} {:>7} {:>7} {:>7}",
+        "variant", "HR@5", "HR@10", "HR@50"
+    );
     for variant in PluginVariant::ABLATION {
         spec.plugin = spec.plugin.with_variant(variant);
         let out = run_experiment(&spec);

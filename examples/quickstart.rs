@@ -5,10 +5,10 @@
 
 use lh_repro::data::{generate, DatasetPreset};
 use lh_repro::dist::{pairwise_matrix, MeasureKind};
+use lh_repro::models::{EncoderConfig, ModelKind};
 use lh_repro::plugin::pipeline::evaluate_model;
 use lh_repro::plugin::trainer::{LhModel, Trainer, TrainerConfig};
 use lh_repro::plugin::PluginConfig;
-use lh_repro::models::{EncoderConfig, ModelKind};
 use lh_repro::traj::normalize::Normalizer;
 
 fn main() {
@@ -62,12 +62,16 @@ fn main() {
             "  trip #{:<4} fused distance {:.4}  (ground truth DTW {:.4})",
             hit.index,
             hit.distance,
-            measure.distance(&queries.trajectories()[0], &database.trajectories()[hit.index]),
+            measure.distance(
+                &queries.trajectories()[0],
+                &database.trajectories()[hit.index]
+            ),
         );
     }
 
     // 5. Accuracy against the DTW oracle.
-    let cross = lh_repro::dist::cross_matrix(queries.trajectories(), database.trajectories(), &measure);
+    let cross =
+        lh_repro::dist::cross_matrix(queries.trajectories(), database.trajectories(), &measure);
     let gt_rows: Vec<Vec<f64>> = (0..queries.len()).map(|q| cross.row(q).to_vec()).collect();
     let eval = evaluate_model(&model, &queries, &database, &gt_rows);
     println!(

@@ -30,8 +30,11 @@ fn main() {
         &database,
         3,
     );
-    Trainer::new(TrainerConfig { epochs: 8, ..Default::default() })
-        .train(&mut model, database.trajectories(), &gt, |_, _| None);
+    Trainer::new(TrainerConfig {
+        epochs: 8,
+        ..Default::default()
+    })
+    .train(&mut model, database.trajectories(), &gt, |_, _| None);
 
     // Offline embedding (done once, amortized over all future queries).
     let t = Instant::now();
@@ -76,7 +79,10 @@ fn main() {
     }
     hr10 /= queries.len() as f64;
 
-    println!("\nper-query latency over {} database trips:", database.len());
+    println!(
+        "\nper-query latency over {} database trips:",
+        database.len()
+    );
     println!("  brute-force DTW      {:>10.3} ms", dtw_time * 1e3);
     println!(
         "  LH fused-dist scan   {:>10.3} ms   ({:.0}× faster)",

@@ -26,7 +26,10 @@ fn main() {
     let raw = generate(DatasetPreset::Chengdu, 100, 42);
     let data = Normalizer::fit(&raw).unwrap().dataset(&raw);
     let triplets = sample_triplets(data.len(), 50_000, 1);
-    println!("\nviolation statistics on {} chengdu-like trips:", data.len());
+    println!(
+        "\nviolation statistics on {} chengdu-like trips:",
+        data.len()
+    );
     for kind in [MeasureKind::Dtw, MeasureKind::Sspd, MeasureKind::Hausdorff] {
         let matrix = pairwise_matrix(data.trajectories(), &kind.measure());
         let stats = ratio_of_violation(&matrix, &triplets);
@@ -48,14 +51,25 @@ fn main() {
 
     // --- Theorem 6 vs Theorem 7: projection degradation ----------------
     let offsets = [1.0, 4.0, 8.0, 12.0];
-    let vanilla = Projection { kind: ProjectionKind::Vanilla, beta: 1.0, c: 2.0 };
-    let cosh = Projection { kind: ProjectionKind::Cosh, beta: 1.0, c: 2.0 };
+    let vanilla = Projection {
+        kind: ProjectionKind::Vanilla,
+        beta: 1.0,
+        c: 2.0,
+    };
+    let cosh = Projection {
+        kind: ProjectionKind::Cosh,
+        beta: 1.0,
+        c: 2.0,
+    };
     println!("\nLorentz distance of a unit-gap pair vs distance from origin:");
     println!("  offset   vanilla φ     cosh φ");
     let vc = radial_degradation_curve(&vanilla, 4, 1.0, &offsets);
     let cc = radial_degradation_curve(&cosh, 4, 1.0, &offsets);
     for (v, c) in vc.iter().zip(&cc) {
-        println!("  {:>6}   {:>9.5}   {:>9.5}", v.offset, v.lorentz_distance, c.lorentz_distance);
+        println!(
+            "  {:>6}   {:>9.5}   {:>9.5}",
+            v.offset, v.lorentz_distance, c.lorentz_distance
+        );
     }
     println!("  (vanilla decays toward 0 — Theorem 6; cosh is flat — Theorem 7)");
 }

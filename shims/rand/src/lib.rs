@@ -1,0 +1,279 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This workspace builds in environments without registry access, so the
+//! external dependencies are vendored as minimal shims under `shims/`
+//! (see the workspace `Cargo.toml`). This shim covers exactly the subset
+//! of the `rand` 0.8 API the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator;
+//! * [`SeedableRng::seed_from_u64`] — SplitMix64 seed expansion;
+//! * [`Rng::gen_range`] over half-open and inclusive integer/float ranges;
+//! * [`Rng::gen_bool`];
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! Determinism is part of the contract: every experiment binary seeds its
+//! RNG explicitly, and the same seed must reproduce the same tables on any
+//! machine. Swapping this shim for the real `rand` crate changes the
+//! stream values (the real `StdRng` is ChaCha12) but not any API.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next uniformly distributed `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open `lo..hi` or inclusive
+    /// `lo..=hi`). Panics on an empty range, like `rand` 0.8.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} not in [0, 1]");
+        next_f64(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Uniform `f64` in `[0, 1)` using the top 53 bits of one output word.
+fn next_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that knows how to sample one value of `T` from itself.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The largest `f32` strictly below `x` (finite positive-span use only).
+fn next_down_f32(x: f32) -> f32 {
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f32::from_bits(bits - 1)
+    } else if x < 0.0 {
+        f32::from_bits(bits + 1)
+    } else {
+        -f32::from_bits(1)
+    }
+}
+
+/// The largest `f64` strictly below `x` (finite positive-span use only).
+fn next_down_f64(x: f64) -> f64 {
+    let bits = x.to_bits();
+    if x > 0.0 {
+        f64::from_bits(bits - 1)
+    } else if x < 0.0 {
+        f64::from_bits(bits + 1)
+    } else {
+        -f64::from_bits(1)
+    }
+}
+
+macro_rules! float_sample_range {
+    ($($t:ty => $next_down:ident),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let v = self.start + (next_f64(rng) as $t) * (self.end - self.start);
+                // `start + u·span` can round up to `end`; keep the range
+                // half-open as the rand 0.8 contract requires.
+                if v >= self.end {
+                    $next_down(self.end)
+                } else {
+                    v
+                }
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                lo + (next_f64(rng) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32 => next_down_f32, f64 => next_down_f64);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator, seeded via SplitMix64.
+    ///
+    /// Stands in for `rand::rngs::StdRng`; same trait surface, different
+    /// (but still high-quality, seed-stable) stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers.
+
+    use super::Rng;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&v));
+            let f = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = rng.gen_range(2usize..=4);
+            assert!((2..=4).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn half_open_float_range_excludes_end() {
+        // Force the rounding edge: a draw of u = 1 - 2⁻⁵³ lands within
+        // f32 rounding distance of `end` and must be pulled back below it.
+        struct MaxRng;
+        impl crate::RngCore for MaxRng {
+            fn next_u64(&mut self) -> u64 {
+                u64::MAX
+            }
+        }
+        let mut rng = MaxRng;
+        let v32: f32 = rng.gen_range(-1.0f32..1.0);
+        assert!(v32 < 1.0, "f32 draw hit the excluded bound: {v32}");
+        let v64: f64 = rng.gen_range(0.0f64..1.0);
+        assert!(v64 < 1.0, "f64 draw hit the excluded bound: {v64}");
+        assert!(crate::next_down_f32(0.0) < 0.0);
+        assert!(crate::next_down_f64(1.0) < 1.0);
+    }
+
+    #[test]
+    fn float_mean_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+}

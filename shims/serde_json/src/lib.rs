@@ -1,0 +1,116 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Thin facade over the `serde` shim, whose `Serialize`/`Deserialize`
+//! traits are already JSON-direct (see that crate's docs). Provides the
+//! three entry points this workspace calls: [`to_string`],
+//! [`to_string_pretty`], and [`from_str`].
+//!
+//! Dialect note: non-finite floats are written bare (`NaN`, `Infinity`,
+//! `-Infinity`) so matrices containing sentinel infinities roundtrip; the
+//! parser accepts the same tokens.
+
+pub use serde::{Error, Value};
+
+/// Serializes `value` to compact JSON.
+///
+/// Infallible for the shim's data model; the `Result` keeps call sites
+/// source-compatible with the real `serde_json`.
+pub fn to_string<T>(value: &T) -> Result<String, Error>
+where
+    T: serde::Serialize + ?Sized,
+{
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to two-space-indented JSON.
+pub fn to_string_pretty<T>(value: &T) -> Result<String, Error>
+where
+    T: serde::Serialize + ?Sized,
+{
+    let compact = to_string(value)?;
+    Ok(Value::parse(&compact)?.pretty())
+}
+
+/// Deserializes a `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::deserialize_json(&Value::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Nested {
+        label: String,
+        weights: Vec<f64>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        Fast,
+        Exact,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Doc {
+        id: u64,
+        mode: Mode,
+        ratio: f32,
+        inner: Nested,
+        maybe: Option<i32>,
+        pairs: Vec<(f64, f64)>,
+        #[serde(skip)]
+        cache: Vec<u8>,
+    }
+
+    fn doc() -> Doc {
+        Doc {
+            id: 12_345_678_901,
+            mode: Mode::Exact,
+            ratio: 0.25,
+            inner: Nested {
+                label: "a \"b\"\nc".into(),
+                weights: vec![1.5, -0.125, f64::INFINITY],
+            },
+            maybe: None,
+            pairs: vec![(0.1, 0.2), (3.0, -4.5)],
+            cache: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn derive_roundtrip() {
+        let d = doc();
+        let json = super::to_string(&d).unwrap();
+        let back: Doc = super::from_str(&json).unwrap();
+        // `cache` is #[serde(skip)]: it must not be serialized and must
+        // come back as Default.
+        assert!(back.cache.is_empty());
+        assert_eq!(back.id, d.id);
+        assert_eq!(back.mode, d.mode);
+        assert_eq!(back.ratio, d.ratio);
+        assert_eq!(back.inner, d.inner);
+        assert_eq!(back.maybe, d.maybe);
+        assert_eq!(back.pairs, d.pairs);
+        assert!(!json.contains("cache"));
+    }
+
+    #[test]
+    fn unit_enum_encoding() {
+        assert_eq!(super::to_string(&Mode::Fast).unwrap(), "\"Fast\"");
+        assert_eq!(super::from_str::<Mode>("\"Exact\"").unwrap(), Mode::Exact);
+        assert!(super::from_str::<Mode>("\"Nope\"").is_err());
+    }
+
+    #[test]
+    fn pretty_reparses_to_same_value() {
+        let d = doc();
+        let pretty = super::to_string_pretty(&d).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Doc = super::from_str(&pretty).unwrap();
+        assert_eq!(back.inner, d.inner);
+    }
+}

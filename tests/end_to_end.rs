@@ -48,7 +48,9 @@ fn training_improves_over_untrained() {
     let measure = MeasureKind::Dtw.measure();
     let gt = pairwise_matrix(db.trajectories(), &measure);
     let cross = cross_matrix(queries.trajectories(), db.trajectories(), &measure);
-    let gt_flat: Vec<f64> = (0..queries.len()).flat_map(|q| cross.row(q).to_vec()).collect();
+    let gt_flat: Vec<f64> = (0..queries.len())
+        .flat_map(|q| cross.row(q).to_vec())
+        .collect();
 
     let model_distances = |model: &LhModel| -> Vec<f64> {
         let db_store = model.embed(db.trajectories());
@@ -88,7 +90,11 @@ fn all_model_variant_combinations_train() {
     let raw = generate(DatasetPreset::Smoke, 30, 3);
     let data = Normalizer::fit(&raw).unwrap().dataset(&raw);
     let gt = pairwise_matrix(data.trajectories(), &MeasureKind::Sspd.measure());
-    for model_kind in [ModelKind::Neutraj, ModelKind::TrajGat, ModelKind::Traj2SimVec] {
+    for model_kind in [
+        ModelKind::Neutraj,
+        ModelKind::TrajGat,
+        ModelKind::Traj2SimVec,
+    ] {
         for variant in [PluginVariant::Original, PluginVariant::FusionDist] {
             let mut model = LhModel::new(
                 model_kind,

@@ -90,7 +90,11 @@ fn measure_registry_violation_split() {
             stats.rv
         );
     }
-    for kind in [MeasureKind::Hausdorff, MeasureKind::DiscreteFrechet, MeasureKind::Erp] {
+    for kind in [
+        MeasureKind::Hausdorff,
+        MeasureKind::DiscreteFrechet,
+        MeasureKind::Erp,
+    ] {
         let m = lh_repro::dist::pairwise_matrix(data.trajectories(), &kind.measure());
         let stats = ratio_of_violation(&m, &triplets);
         assert!(
