@@ -1,13 +1,21 @@
 //! **Fig. 6** — scalability: accuracy vs training-set fraction
 //! (20/40/60/80/100%), original vs LH-plugin with a fixed evaluation set.
 //!
+//! Each point also reports the serving cost at that scale: the trained
+//! model's embeddings are loaded into the sharded retrieval engine and the
+//! batched top-10 scan (`ShardedStore::knn_batch`) is timed per query, so
+//! the figure shows how both accuracy *and* retrieval latency move as the
+//! database grows.
+//!
 //! Usage: `cargo run --release -p lh-bench --bin fig6_scalability
-//!        [--n 200] [--epochs 25] [--seed 42]`
+//!        [--n 200] [--epochs 25] [--seed 42] [--shard-rows 8192]`
 
 use lh_bench::printer::write_artifact;
 use lh_bench::{default_spec, print_header, Args, Table};
 use lh_core::config::PluginVariant;
 use lh_core::pipeline::run_experiment;
+use lh_core::retrieval::DEFAULT_SHARD_ROWS;
+use lh_core::ShardedStore;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -16,6 +24,7 @@ struct FracPoint {
     variant: String,
     hr10: f64,
     hr50: f64,
+    knn_query_seconds: f64,
 }
 
 fn main() {
@@ -26,8 +35,9 @@ fn main() {
     );
     let base = default_spec(&args);
     let full_db = base.n - base.n_queries;
+    let shard_rows = args.get("shard-rows", DEFAULT_SHARD_ROWS);
 
-    let mut table = Table::new(&["fraction", "plugin", "HR@10", "HR@50"]);
+    let mut table = Table::new(&["fraction", "plugin", "HR@10", "HR@50", "knn@10/query"]);
     let mut points = Vec::new();
     for frac in [0.2f64, 0.4, 0.6, 0.8, 1.0] {
         for variant in [PluginVariant::Original, PluginVariant::FusionDist] {
@@ -38,17 +48,33 @@ fn main() {
             spec.n = (full_db as f64 * frac) as usize + spec.n_queries;
             spec.plugin = spec.plugin.with_variant(variant);
             let out = run_experiment(&spec);
+
+            // Serving cost at this scale through the sharded engine,
+            // reusing the stores the experiment already embedded.
+            let q_store = out.q_store;
+            let sharded = ShardedStore::new(out.db_store, shard_rows);
+            let _ = sharded.knn_batch(&q_store, 10); // warm-up
+            const REPS: usize = 5; // average several batches: one is µs-scale here
+            let start = std::time::Instant::now();
+            for _ in 0..REPS {
+                std::hint::black_box(sharded.knn_batch(&q_store, 10));
+            }
+            let knn_query_seconds =
+                start.elapsed().as_secs_f64() / (REPS * q_store.len().max(1)) as f64;
+
             table.row(vec![
                 format!("{:.0}%", frac * 100.0),
                 variant.name().into(),
                 format!("{:.3}", out.eval.hr10),
                 format!("{:.3}", out.eval.hr50),
+                format!("{:.1} µs", knn_query_seconds * 1e6),
             ]);
             points.push(FracPoint {
                 fraction: frac,
                 variant: variant.name().into(),
                 hr10: out.eval.hr10,
                 hr50: out.eval.hr50,
+                knn_query_seconds,
             });
             eprintln!("[fig6] fraction {frac} / {} done", variant.name());
         }

@@ -14,7 +14,8 @@
 //! 4. [`trainer`] wraps a base encoder + plugin into one training loop
 //!    (Neutraj-style rank-weighted distance regression);
 //! 5. [`retrieval`] stores embeddings compactly and answers top-k queries
-//!    with the O(d) fused distance;
+//!    with the O(d) fused distance — a sharded, kernel-generic query
+//!    engine with a batched parallel `knn_batch` API;
 //! 6. [`pipeline`] drives complete experiments (data → ground truth →
 //!    train → evaluate) and is what the bench binaries call.
 //!
@@ -38,5 +39,7 @@ pub use distance::{euclidean_distance_rows, fused_distance_rows, lorentz_distanc
 pub use fusion::FactorEncoder;
 pub use pipeline::{run_experiment, ExperimentOutcome, ExperimentSpec};
 pub use projection::project_rows;
-pub use retrieval::{EmbeddingStore, RetrievalResult};
+pub use retrieval::{
+    DistanceKernel, EmbeddingStore, RetrievalResult, ShardedStore, StoreDecodeError,
+};
 pub use trainer::{LhModel, TrainReport, Trainer, TrainerConfig};

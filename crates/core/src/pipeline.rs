@@ -3,6 +3,7 @@
 //! [`run_experiment`].
 
 use crate::config::PluginConfig;
+use crate::retrieval::EmbeddingStore;
 use crate::trainer::{LhModel, TrainReport, Trainer, TrainerConfig};
 use lh_data::DatasetPreset;
 use lh_metrics::ranking::RankingEval;
@@ -81,10 +82,20 @@ pub struct ExperimentOutcome {
     /// Ground-truth query-to-database distance rows.
     #[serde(skip)]
     pub gt_rows: Vec<Vec<f64>>,
+    /// Final database embeddings (the serving-side store — callers can
+    /// shard and query it without re-embedding).
+    #[serde(skip)]
+    pub db_store: EmbeddingStore,
+    /// Final query embeddings.
+    #[serde(skip)]
+    pub q_store: EmbeddingStore,
 }
 
 /// Evaluates a model's retrieval quality: embeds queries + database and
-/// scores model distance rows against ground-truth rows.
+/// scores model distance rows against ground-truth rows. Distance rows
+/// come from the retrieval engine's batched kernel scan
+/// ([`crate::retrieval::store::EmbeddingStore::distance_rows_from`]),
+/// parallel across queries.
 pub fn evaluate_model(
     model: &LhModel,
     queries: &TrajectoryDataset,
@@ -93,9 +104,17 @@ pub fn evaluate_model(
 ) -> RankingEval {
     let db_store = model.embed(database.trajectories());
     let q_store = model.embed(queries.trajectories());
-    let pred_rows: Vec<Vec<f64>> = (0..queries.len())
-        .map(|qi| db_store.distance_row_from(&q_store, qi))
-        .collect();
+    evaluate_stores(&db_store, &q_store, gt_rows)
+}
+
+/// Scores already-embedded stores against ground-truth rows (lets callers
+/// that keep the stores around avoid re-embedding).
+pub fn evaluate_stores(
+    db_store: &EmbeddingStore,
+    q_store: &EmbeddingStore,
+    gt_rows: &[Vec<f64>],
+) -> RankingEval {
+    let pred_rows = db_store.distance_rows_from(q_store);
     RankingEval::evaluate(gt_rows, &pred_rows, false)
 }
 
@@ -135,8 +154,11 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentOutcome {
         eval_every.then(|| evaluate_model(m, queries_ref, database_ref, gt_rows_ref).hr10)
     });
 
-    // 4. Final evaluation.
-    let eval = evaluate_model(&model, &queries, &database, &gt_rows);
+    // 4. Final evaluation (embed once; the stores ride along in the
+    // outcome so callers can serve from them without re-embedding).
+    let db_store = model.embed(database.trajectories());
+    let q_store = model.embed(queries.trajectories());
+    let eval = evaluate_stores(&db_store, &q_store, &gt_rows);
     ExperimentOutcome {
         eval,
         report,
@@ -146,6 +168,8 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentOutcome {
         database,
         queries,
         gt_rows,
+        db_store,
+        q_store,
     }
 }
 

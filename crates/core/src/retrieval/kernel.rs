@@ -1,0 +1,303 @@
+//! Monomorphized distance kernels: one per plugin variant.
+//!
+//! The legacy scan matched on `PluginVariant` and re-sliced the query rows
+//! for every candidate pair. A [`DistanceKernel`] is bound once per
+//! (query, database) pair of stores — slicing the query's Euclidean /
+//! hyperbolic / factor rows a single time — and then evaluates candidates
+//! in a tight loop with no dispatch. The `match` survives exactly once per
+//! scan, in the crate-internal `scan_topk` / `distance_row` drivers, where
+//! it selects which monomorphized generic instantiation runs.
+
+use super::store::EmbeddingStore;
+use crate::config::PluginVariant;
+use crate::distance::{alpha_f32, euclidean_f32, fused_f32, lorentz_f32};
+use traj_core::topk::TopK;
+
+/// A distance function bound to one query row and one database store.
+///
+/// Implementations are plain structs over `&[f32]` slices so the scan
+/// loops monomorphize: `kernel.distance_to(di)` compiles to the raw
+/// arithmetic of the active variant with no enum dispatch inside the loop.
+pub trait DistanceKernel {
+    /// Number of database rows this kernel can scan.
+    fn len(&self) -> usize;
+
+    /// Whether the bound database is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Model distance from the bound query to database row `di`.
+    fn distance_to(&self, di: usize) -> f32;
+}
+
+/// Euclidean distance over the base embeddings (`original` variant).
+pub struct EuclideanKernel<'a> {
+    db: &'a [f32],
+    dim: usize,
+    n: usize,
+    q: &'a [f32],
+}
+
+impl<'a> EuclideanKernel<'a> {
+    /// Binds query row `qi` of `queries` against `db`'s Euclidean buffer.
+    pub fn bind(db: &'a EmbeddingStore, queries: &'a EmbeddingStore, qi: usize) -> Self {
+        EuclideanKernel {
+            db: &db.eu,
+            dim: db.dim,
+            n: db.n,
+            q: queries.eu_row(qi),
+        }
+    }
+}
+
+impl DistanceKernel for EuclideanKernel<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn distance_to(&self, di: usize) -> f32 {
+        euclidean_f32(self.q, &self.db[di * self.dim..(di + 1) * self.dim])
+    }
+}
+
+/// Lorentz distance over the hyperbolic rows (`lh-vanilla` / `lh-cosh`).
+pub struct LorentzKernel<'a> {
+    db: &'a [f32],
+    width: usize,
+    q: &'a [f32],
+    beta: f32,
+}
+
+impl<'a> LorentzKernel<'a> {
+    /// Binds query row `qi` of `queries` against `db`'s hyperbolic buffer.
+    pub fn bind(db: &'a EmbeddingStore, queries: &'a EmbeddingStore, qi: usize) -> Self {
+        LorentzKernel {
+            db: &db.hyper,
+            width: db.dim + 1,
+            q: queries.hyper_row(qi),
+            beta: db.beta,
+        }
+    }
+}
+
+impl DistanceKernel for LorentzKernel<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.db.len() / self.width
+    }
+
+    #[inline]
+    fn distance_to(&self, di: usize) -> f32 {
+        lorentz_f32(
+            self.q,
+            &self.db[di * self.width..(di + 1) * self.width],
+            self.beta,
+        )
+    }
+}
+
+/// Fused distance (`fusion-dist`): per-pair α over factor rows blending
+/// the Lorentz and Euclidean kernels.
+pub struct FusedKernel<'a> {
+    eu: EuclideanKernel<'a>,
+    lo: LorentzKernel<'a>,
+    db_factors: &'a [f32],
+    factor_dim: usize,
+    q_lo: &'a [f32],
+    q_eu: &'a [f32],
+}
+
+impl<'a> FusedKernel<'a> {
+    /// Binds query row `qi` of `queries` against all three of `db`'s
+    /// buffers.
+    pub fn bind(db: &'a EmbeddingStore, queries: &'a EmbeddingStore, qi: usize) -> Self {
+        let f = db.factor_dim.expect("fusion factors present");
+        let qf = queries.factor_row(qi);
+        FusedKernel {
+            eu: EuclideanKernel::bind(db, queries, qi),
+            lo: LorentzKernel::bind(db, queries, qi),
+            db_factors: &db.factors,
+            factor_dim: f,
+            q_lo: &qf[..f],
+            q_eu: &qf[f..],
+        }
+    }
+}
+
+impl DistanceKernel for FusedKernel<'_> {
+    #[inline]
+    fn len(&self) -> usize {
+        self.eu.len()
+    }
+
+    #[inline]
+    fn distance_to(&self, di: usize) -> f32 {
+        let w = 2 * self.factor_dim;
+        let df = &self.db_factors[di * w..(di + 1) * w];
+        let alpha = alpha_f32(
+            self.q_lo,
+            &df[..self.factor_dim],
+            self.q_eu,
+            &df[self.factor_dim..],
+        );
+        fused_f32(alpha, self.lo.distance_to(di), self.eu.distance_to(di))
+    }
+}
+
+/// Bounded-heap top-k scan of rows `start..end` over one kernel
+/// (monomorphized per kernel type). Offered indices are the database row
+/// indices themselves, so shard scans need no rebasing.
+fn topk_scan<K: DistanceKernel>(kernel: &K, k: usize, start: usize, end: usize) -> TopK {
+    let mut top = TopK::new(k);
+    for di in start..end {
+        top.offer(di, kernel.distance_to(di) as f64);
+    }
+    top
+}
+
+/// Full distance row over one kernel (monomorphized per kernel type).
+fn row_scan<K: DistanceKernel>(kernel: &K) -> Vec<f64> {
+    (0..kernel.len())
+        .map(|di| kernel.distance_to(di) as f64)
+        .collect()
+}
+
+/// Top-k of query row `qi` of `queries` against rows `start..end` of
+/// `db`. The variant `match` happens exactly once here; the loop
+/// underneath is the monomorphized kernel scan. This is the per-shard
+/// work unit of `ShardedStore::knn_batch`.
+pub(crate) fn scan_topk_range(
+    db: &EmbeddingStore,
+    queries: &EmbeddingStore,
+    qi: usize,
+    k: usize,
+    start: usize,
+    end: usize,
+) -> TopK {
+    debug_assert_eq!(db.variant, queries.variant);
+    debug_assert!(start <= end && end <= db.n);
+    match db.variant {
+        PluginVariant::Original => {
+            topk_scan(&EuclideanKernel::bind(db, queries, qi), k, start, end)
+        }
+        PluginVariant::LorentzVanilla | PluginVariant::LorentzCosh => {
+            topk_scan(&LorentzKernel::bind(db, queries, qi), k, start, end)
+        }
+        PluginVariant::FusionDist => topk_scan(&FusedKernel::bind(db, queries, qi), k, start, end),
+    }
+}
+
+/// Top-k of query row `qi` of `queries` against every row of `db`.
+pub(crate) fn scan_topk(
+    db: &EmbeddingStore,
+    queries: &EmbeddingStore,
+    qi: usize,
+    k: usize,
+) -> TopK {
+    scan_topk_range(db, queries, qi, k, 0, db.n)
+}
+
+/// Full distance row of query `qi` against every row of `db`.
+pub(crate) fn distance_row(db: &EmbeddingStore, queries: &EmbeddingStore, qi: usize) -> Vec<f64> {
+    debug_assert_eq!(db.variant, queries.variant);
+    match db.variant {
+        PluginVariant::Original => row_scan(&EuclideanKernel::bind(db, queries, qi)),
+        PluginVariant::LorentzVanilla | PluginVariant::LorentzCosh => {
+            row_scan(&LorentzKernel::bind(db, queries, qi))
+        }
+        PluginVariant::FusionDist => row_scan(&FusedKernel::bind(db, queries, qi)),
+    }
+}
+
+/// One query-to-row distance (binds a kernel for a single evaluation;
+/// scans should bind once instead).
+pub(crate) fn distance_one(
+    db: &EmbeddingStore,
+    queries: &EmbeddingStore,
+    qi: usize,
+    di: usize,
+) -> f32 {
+    match db.variant {
+        PluginVariant::Original => EuclideanKernel::bind(db, queries, qi).distance_to(di),
+        PluginVariant::LorentzVanilla | PluginVariant::LorentzCosh => {
+            LorentzKernel::bind(db, queries, qi).distance_to(di)
+        }
+        PluginVariant::FusionDist => FusedKernel::bind(db, queries, qi).distance_to(di),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::store::tests::store_with_rows;
+    use super::*;
+
+    /// The kernels must reproduce the reference formulas exactly —
+    /// bit-for-bit, since retrieval determinism rests on it.
+    #[test]
+    fn kernels_match_reference_formulas() {
+        let s = store_with_rows(PluginVariant::FusionDist);
+        for qi in 0..s.len() {
+            let eu = EuclideanKernel::bind(&s, &s, qi);
+            let lo = LorentzKernel::bind(&s, &s, qi);
+            let fu = FusedKernel::bind(&s, &s, qi);
+            assert_eq!(eu.len(), s.len());
+            assert_eq!(lo.len(), s.len());
+            assert_eq!(fu.len(), s.len());
+            for di in 0..s.len() {
+                assert_eq!(
+                    eu.distance_to(di),
+                    euclidean_f32(s.eu_row(qi), s.eu_row(di))
+                );
+                assert_eq!(
+                    lo.distance_to(di),
+                    lorentz_f32(s.hyper_row(qi), s.hyper_row(di), 1.0)
+                );
+                let f = s.factor_dim().unwrap();
+                let qf = s.factor_row(qi);
+                let df = s.factor_row(di);
+                let alpha = alpha_f32(&qf[..f], &df[..f], &qf[f..], &df[f..]);
+                let expect = fused_f32(alpha, lo.distance_to(di), eu.distance_to(di));
+                assert_eq!(fu.distance_to(di), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_topk_orders_all_variants() {
+        for variant in PluginVariant::ABLATION {
+            let s = store_with_rows(variant);
+            let hits = scan_topk(&s, &s, 0, s.len()).into_sorted();
+            assert_eq!(hits.len(), s.len(), "{}", variant.name());
+            for w in hits.windows(2) {
+                assert!(
+                    w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                    "{} not ascending",
+                    variant.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_row_matches_distance_one() {
+        for variant in PluginVariant::ABLATION {
+            let s = store_with_rows(variant);
+            let row = distance_row(&s, &s, 2);
+            for (di, &d) in row.iter().enumerate() {
+                assert_eq!(d as f32, distance_one(&s, &s, 2, di), "{}", variant.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_store_scans_to_nothing() {
+        let s = EmbeddingStore::new(4, PluginVariant::Original, 1.0, None);
+        let mut q = EmbeddingStore::new(4, PluginVariant::Original, 1.0, None);
+        q.push(&[0.0; 4], None, None);
+        assert!(scan_topk(&s, &q, 0, 5).into_sorted().is_empty());
+        assert!(distance_row(&s, &q, 0).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! The retrieval query engine: embedding storage, distance kernels,
+//! sharded batched top-k, and the binary payload codec.
+//!
+//! The paper's efficiency argument (its Table V) is that the plugin adds
+//! only O(d) work and a few extra vectors per trajectory on top of the
+//! pre-embedded database. This module makes that accounting explicit and
+//! then serves it at scale:
+//!
+//! * [`store`] — [`EmbeddingStore`]: Euclidean rows always, hyperbolic
+//!   rows (`d+1`) when a Lorentz variant is active, factor rows (`2f`)
+//!   when fusion is active, all in flat `f32` buffers;
+//! * [`kernel`] — [`DistanceKernel`]: one monomorphized distance kernel
+//!   per [`PluginVariant`](crate::config::PluginVariant), binding the
+//!   query row(s) once so the inner scan loop carries no variant dispatch
+//!   or repeated row slicing;
+//! * [`shard`] — [`ShardedStore`]: fixed-size logical row shards over one
+//!   owned store (zero-copy), served by the batched
+//!   [`ShardedStore::knn_batch`] API, which fans (query × shard) scans
+//!   across threads via `traj_core::parallel` and merges per-shard heaps;
+//! * [`codec`] — streaming little-endian payload (de)serialization with
+//!   corruption guards ([`StoreDecodeError`]).
+//!
+//! Ranking everywhere goes through `traj_core::topk::TopK` — O(n log k),
+//! `total_cmp`-deterministic with index tie-break — so the single-query
+//! compatibility wrapper [`EmbeddingStore::knn`], the batched sharded
+//! path, and `traj_dist::DistanceMatrix::knn_of_row` all agree exactly.
+
+pub mod codec;
+pub mod kernel;
+pub mod shard;
+pub mod store;
+
+pub use codec::StoreDecodeError;
+pub use kernel::DistanceKernel;
+pub use shard::{ShardedStore, DEFAULT_SHARD_ROWS};
+pub use store::{EmbeddingStore, RetrievalResult};

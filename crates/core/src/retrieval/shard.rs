@@ -1,0 +1,218 @@
+//! Sharded embedding storage and the batched parallel top-k API.
+//!
+//! A [`ShardedStore`] owns one [`EmbeddingStore`] and serves it as
+//! fixed-size logical row shards — no buffer duplication, shards are row
+//! ranges over the flat buffers. [`ShardedStore::knn_batch`] fans every
+//! (query, shard) scan across threads via `traj_core::parallel`, each scan
+//! keeping a bounded per-shard heap, and merges the per-shard survivors
+//! into the global top-k per query. Because every path ranks with
+//! `traj_core::topk::TopK` (total order + index tie-break) and every scan
+//! reads the same flat `f32` rows, the merged results are exactly — byte
+//! for byte — what the single-threaded [`EmbeddingStore::knn`] scan
+//! returns.
+
+use super::kernel;
+use super::store::{results_from_topk, EmbeddingStore, RetrievalResult};
+use traj_core::parallel::{default_threads, parallel_map};
+use traj_core::topk::TopK;
+
+/// Default rows per shard: large enough to amortize task dispatch, small
+/// enough that a 100k-row store spreads across every core.
+pub const DEFAULT_SHARD_ROWS: usize = 8192;
+
+/// An [`EmbeddingStore`] served as fixed-size row shards for batched
+/// parallel retrieval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedStore {
+    store: EmbeddingStore,
+    shard_rows: usize,
+}
+
+impl ShardedStore {
+    /// Takes ownership of `store`, serving it as logical shards of
+    /// `shard_rows` rows (the last shard may be shorter). Zero-copy: the
+    /// flat buffers are kept whole and shards are row ranges over them.
+    /// `shard_rows` must be ≥ 1.
+    pub fn new(store: EmbeddingStore, shard_rows: usize) -> Self {
+        assert!(shard_rows >= 1, "shard_rows must be at least 1");
+        ShardedStore { store, shard_rows }
+    }
+
+    /// [`ShardedStore::new`] with [`DEFAULT_SHARD_ROWS`]-row shards.
+    pub fn with_default_shards(store: EmbeddingStore) -> Self {
+        Self::new(store, DEFAULT_SHARD_ROWS)
+    }
+
+    /// The underlying store (for single-row access, payload accounting,
+    /// or unsharded scans).
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// Releases the underlying store.
+    pub fn into_store(self) -> EmbeddingStore {
+        self.store
+    }
+
+    /// Total rows.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.store.len().div_ceil(self.shard_rows)
+    }
+
+    /// Configured rows per shard.
+    pub fn shard_rows(&self) -> usize {
+        self.shard_rows
+    }
+
+    /// Row range `[start, end)` of shard `si`.
+    pub fn shard_range(&self, si: usize) -> (usize, usize) {
+        assert!(si < self.num_shards(), "shard index out of bounds");
+        let start = si * self.shard_rows;
+        (start, (start + self.shard_rows).min(self.store.len()))
+    }
+
+    /// Total payload bytes (the Table V memory metric; identical to the
+    /// unsharded store's — sharding adds no copies).
+    pub fn payload_bytes(&self) -> usize {
+        self.store.payload_bytes()
+    }
+
+    /// Batched top-k: one result list per query row of `queries`, each
+    /// exactly equal to `EmbeddingStore::knn` on the unsharded store.
+    ///
+    /// Work is fanned out as (query × shard) tasks via
+    /// `traj_core::parallel::parallel_map`; each task runs the
+    /// monomorphized kernel scan over its shard's row range with a bounded
+    /// heap, then per-shard survivors are merged per query.
+    pub fn knn_batch(&self, queries: &EmbeddingStore, k: usize) -> Vec<Vec<RetrievalResult>> {
+        let nq = queries.len();
+        let ns = self.num_shards();
+        if nq == 0 || ns == 0 || k == 0 {
+            return vec![Vec::new(); nq];
+        }
+        let tasks = nq * ns;
+        // Each task: one shard's bounded-heap scan (kernel indices are
+        // already global row indices — no rebasing; survivors stay
+        // unsorted since the merge re-ranks them anyway).
+        let per_shard: Vec<Vec<(usize, f64)>> = parallel_map(tasks, default_threads(tasks), |t| {
+            let (qi, si) = (t / ns, t % ns);
+            let (start, end) = self.shard_range(si);
+            kernel::scan_topk_range(&self.store, queries, qi, k, start, end).into_unsorted()
+        });
+        (0..nq)
+            .map(|qi| {
+                let mut top = TopK::new(k);
+                for shard_hits in &per_shard[qi * ns..(qi + 1) * ns] {
+                    for &(i, d) in shard_hits {
+                        top.offer(i, d);
+                    }
+                }
+                results_from_topk(top)
+            })
+            .collect()
+    }
+
+    /// Single-query convenience: sequential scan over the shards, same
+    /// results as [`ShardedStore::knn_batch`] row `qi`.
+    pub fn knn(&self, queries: &EmbeddingStore, qi: usize, k: usize) -> Vec<RetrievalResult> {
+        let mut top = TopK::new(k);
+        for si in 0..self.num_shards() {
+            let (start, end) = self.shard_range(si);
+            top.merge(&kernel::scan_topk_range(
+                &self.store,
+                queries,
+                qi,
+                k,
+                start,
+                end,
+            ));
+        }
+        results_from_topk(top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::store::tests::store_with_rows;
+    use super::*;
+    use crate::config::PluginVariant;
+
+    #[test]
+    fn sharding_covers_all_rows() {
+        let s = store_with_rows(PluginVariant::FusionDist);
+        for shard_rows in 1..=4 {
+            let sh = ShardedStore::new(s.clone(), shard_rows);
+            assert_eq!(sh.len(), s.len());
+            assert_eq!(sh.payload_bytes(), s.payload_bytes());
+            assert_eq!(sh.num_shards(), s.len().div_ceil(shard_rows));
+            let total: usize = (0..sh.num_shards())
+                .map(|i| {
+                    let (start, end) = sh.shard_range(i);
+                    end - start
+                })
+                .sum();
+            assert_eq!(total, s.len());
+        }
+    }
+
+    #[test]
+    fn batch_matches_single_query_scan_all_variants() {
+        for variant in PluginVariant::ABLATION {
+            let s = store_with_rows(variant);
+            for shard_rows in 1..=4 {
+                let sh = ShardedStore::new(s.clone(), shard_rows);
+                for k in [0, 1, 2, 3, 10] {
+                    let batch = sh.knn_batch(&s, k);
+                    assert_eq!(batch.len(), s.len());
+                    for (qi, batch_hits) in batch.iter().enumerate() {
+                        let single = s.knn(&s, qi, k);
+                        assert_eq!(
+                            batch_hits,
+                            &single,
+                            "{} shard_rows={shard_rows} k={k} qi={qi}",
+                            variant.name()
+                        );
+                        assert_eq!(sh.knn(&s, qi, k), single);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_store_serves_empty_results() {
+        let s = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+        let sh = ShardedStore::new(s, 16);
+        assert!(sh.is_empty());
+        assert_eq!(sh.num_shards(), 0);
+        let mut q = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+        q.push(&[0.0, 0.0], None, None);
+        assert_eq!(sh.knn_batch(&q, 5), vec![Vec::new()]);
+        assert!(sh.knn(&q, 0, 5).is_empty());
+    }
+
+    #[test]
+    fn store_roundtrips_through_sharding() {
+        let s = store_with_rows(PluginVariant::LorentzCosh);
+        let sh = ShardedStore::with_default_shards(s.clone());
+        assert_eq!(sh.store(), &s);
+        assert_eq!(sh.into_store(), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard_rows must be at least 1")]
+    fn zero_shard_rows_rejected() {
+        let s = store_with_rows(PluginVariant::Original);
+        let _ = ShardedStore::new(s, 0);
+    }
+}

@@ -1,29 +1,29 @@
-//! Embedding storage and top-k retrieval with the fused distance.
+//! Flat embedding storage and the single-query scan surface.
 //!
-//! The paper's efficiency argument (its Table V) is that the plugin adds
-//! only O(d) work and a few extra vectors per trajectory on top of the
-//! pre-embedded database. [`EmbeddingStore`] makes that accounting
-//! explicit: Euclidean rows always, hyperbolic rows (`d+1`) when a Lorentz
-//! variant is active, factor rows (`2f`) when fusion is active, all in
-//! flat `f32` buffers. [`EmbeddingStore::knn`] is the brute-force scan the
-//! latency benches time.
+//! [`EmbeddingStore`] owns the three flat `f32` buffers (Euclidean,
+//! hyperbolic, fusion factors) for one trajectory collection. Scans are
+//! executed by the monomorphized kernels in [`super::kernel`]; the
+//! [`EmbeddingStore::knn`] method is the thin single-query compatibility
+//! wrapper over that engine, and [`super::shard::ShardedStore`] is the
+//! batched parallel surface.
 
+use super::kernel;
 use crate::config::PluginVariant;
-use crate::distance::{alpha_f32, euclidean_f32, fused_f32, lorentz_f32};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
+use traj_core::parallel::{default_threads, parallel_map};
+use traj_core::topk::TopK;
 
 /// Flat embedding storage for one trajectory collection.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EmbeddingStore {
-    dim: usize,
-    variant: PluginVariant,
-    beta: f32,
-    factor_dim: Option<usize>,
-    n: usize,
-    eu: Vec<f32>,
-    hyper: Vec<f32>,
-    factors: Vec<f32>,
+    pub(crate) dim: usize,
+    pub(crate) variant: PluginVariant,
+    pub(crate) beta: f32,
+    pub(crate) factor_dim: Option<usize>,
+    pub(crate) n: usize,
+    pub(crate) eu: Vec<f32>,
+    pub(crate) hyper: Vec<f32>,
+    pub(crate) factors: Vec<f32>,
 }
 
 /// One retrieval hit.
@@ -87,6 +87,21 @@ impl EmbeddingStore {
         self.dim
     }
 
+    /// Active plugin variant.
+    pub fn variant(&self) -> PluginVariant {
+        self.variant
+    }
+
+    /// Curvature parameter β.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+
+    /// Factor embedding width, when fusion is active.
+    pub fn factor_dim(&self) -> Option<usize> {
+        self.factor_dim
+    }
+
     /// Whether hyperbolic rows are stored.
     pub fn has_hyperbolic(&self) -> bool {
         !self.hyper.is_empty() || (self.variant.uses_hyperbolic() && self.n == 0)
@@ -121,34 +136,52 @@ impl EmbeddingStore {
 
     /// Model distance between row `qi` of `queries` and row `di` of
     /// `self`, per the active variant.
+    ///
+    /// One-off surface: binds a kernel per call. Scans should use
+    /// [`EmbeddingStore::knn`] or
+    /// [`ShardedStore::knn_batch`](super::shard::ShardedStore::knn_batch),
+    /// which bind once per query.
     pub fn distance_from(&self, queries: &EmbeddingStore, qi: usize, di: usize) -> f32 {
         debug_assert_eq!(self.variant, queries.variant);
-        match self.variant {
-            PluginVariant::Original => euclidean_f32(queries.eu_row(qi), self.eu_row(di)),
-            PluginVariant::LorentzVanilla | PluginVariant::LorentzCosh => {
-                lorentz_f32(queries.hyper_row(qi), self.hyper_row(di), self.beta)
-            }
-            PluginVariant::FusionDist => {
-                let f = self.factor_dim.expect("fusion factors present");
-                let qf = queries.factor_row(qi);
-                let df = self.factor_row(di);
-                let alpha = alpha_f32(&qf[..f], &df[..f], &qf[f..], &df[f..]);
-                let d_lo = lorentz_f32(queries.hyper_row(qi), self.hyper_row(di), self.beta);
-                let d_eu = euclidean_f32(queries.eu_row(qi), self.eu_row(di));
-                fused_f32(alpha, d_lo, d_eu)
-            }
-        }
+        kernel::distance_one(self, queries, qi, di)
     }
 
-    /// Full distance row from query `qi` to every database row.
+    /// Full distance row from query `qi` to every database row
+    /// (monomorphized kernel scan).
     pub fn distance_row_from(&self, queries: &EmbeddingStore, qi: usize) -> Vec<f64> {
-        (0..self.n)
-            .map(|di| self.distance_from(queries, qi, di) as f64)
-            .collect()
+        kernel::distance_row(self, queries, qi)
     }
 
-    /// Brute-force top-k retrieval for query row `qi` of `queries`.
+    /// All distance rows from every query to every database row, computed
+    /// in parallel across queries. This is the batched evaluation surface
+    /// `lh-core::pipeline` ranks with.
+    pub fn distance_rows_from(&self, queries: &EmbeddingStore) -> Vec<Vec<f64>> {
+        let nq = queries.len();
+        parallel_map(nq, default_threads(nq), |qi| {
+            kernel::distance_row(self, queries, qi)
+        })
+    }
+
+    /// Top-k retrieval for query row `qi` of `queries`.
+    ///
+    /// Thin compatibility wrapper over the kernel engine: a monomorphized
+    /// O(n log k) bounded-heap scan, deterministic under ties and
+    /// non-finite distances (`total_cmp` + index tie-break). Sharded /
+    /// batched serving lives on [`super::shard::ShardedStore`].
     pub fn knn(&self, queries: &EmbeddingStore, qi: usize, k: usize) -> Vec<RetrievalResult> {
+        results_from_topk(kernel::scan_topk(self, queries, qi, k))
+    }
+
+    /// Legacy top-k: materializes and fully sorts all n candidates with a
+    /// per-pair variant dispatch, O(n log n). Retained as the regression
+    /// baseline the benches compare the kernel engine against; new code
+    /// should call [`EmbeddingStore::knn`].
+    pub fn knn_full_sort(
+        &self,
+        queries: &EmbeddingStore,
+        qi: usize,
+        k: usize,
+    ) -> Vec<RetrievalResult> {
         let mut hits: Vec<RetrievalResult> = (0..self.n)
             .map(|di| RetrievalResult {
                 index: di,
@@ -157,76 +190,31 @@ impl EmbeddingStore {
             .collect();
         hits.sort_by(|a, b| {
             a.distance
-                .partial_cmp(&b.distance)
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&b.distance)
                 .then(a.index.cmp(&b.index))
         });
         hits.truncate(k);
         hits
     }
+}
 
-    /// Compact binary serialization (length-prefixed little-endian f32s).
-    pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.payload_bytes() + 64);
-        buf.put_u64_le(self.n as u64);
-        buf.put_u64_le(self.dim as u64);
-        buf.put_u8(match self.variant {
-            PluginVariant::Original => 0,
-            PluginVariant::LorentzVanilla => 1,
-            PluginVariant::LorentzCosh => 2,
-            PluginVariant::FusionDist => 3,
-        });
-        buf.put_f32_le(self.beta);
-        buf.put_u64_le(self.factor_dim.unwrap_or(0) as u64);
-        for chunk in [&self.eu, &self.hyper, &self.factors] {
-            buf.put_u64_le(chunk.len() as u64);
-            for &v in chunk.iter() {
-                buf.put_f32_le(v);
-            }
-        }
-        buf.freeze()
-    }
-
-    /// Inverse of [`EmbeddingStore::to_bytes`].
-    pub fn from_bytes(mut data: Bytes) -> Self {
-        let n = data.get_u64_le() as usize;
-        let dim = data.get_u64_le() as usize;
-        let variant = match data.get_u8() {
-            0 => PluginVariant::Original,
-            1 => PluginVariant::LorentzVanilla,
-            2 => PluginVariant::LorentzCosh,
-            _ => PluginVariant::FusionDist,
-        };
-        let beta = data.get_f32_le();
-        let fd = data.get_u64_le() as usize;
-        let mut parts: [Vec<f32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-        for part in &mut parts {
-            let len = data.get_u64_le() as usize;
-            part.reserve(len);
-            for _ in 0..len {
-                part.push(data.get_f32_le());
-            }
-        }
-        let [eu, hyper, factors] = parts;
-        EmbeddingStore {
-            dim,
-            variant,
-            beta,
-            factor_dim: if fd == 0 { None } else { Some(fd) },
-            n,
-            eu,
-            hyper,
-            factors,
-        }
-    }
+/// Converts a selector's survivors into the public result type.
+pub(crate) fn results_from_topk(top: TopK) -> Vec<RetrievalResult> {
+    top.into_sorted()
+        .into_iter()
+        .map(|(index, distance)| RetrievalResult {
+            index,
+            distance: distance as f32,
+        })
+        .collect()
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     #[allow(clippy::approx_constant)] // the test rows intentionally lie on H(1): x0 = √(‖x‖²+1)
-    fn store_with_rows(variant: PluginVariant) -> EmbeddingStore {
+    pub(crate) fn store_with_rows(variant: PluginVariant) -> EmbeddingStore {
         let mut s = EmbeddingStore::new(2, variant, 1.0, Some(2));
         let rows: [([f32; 2], [f32; 3], [f32; 4]); 3] = [
             ([0.0, 0.0], [1.0, 0.0, 0.0], [1.0, 1.0, 1.0, 1.0]),
@@ -251,6 +239,42 @@ mod tests {
     }
 
     #[test]
+    fn knn_matches_full_sort_baseline() {
+        for variant in PluginVariant::ABLATION {
+            let s = store_with_rows(variant);
+            for k in [0, 1, 2, 3, 10] {
+                assert_eq!(
+                    s.knn(&s, 1, k),
+                    s.knn_full_sort(&s, 1, k),
+                    "{} k={k}",
+                    variant.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_deterministic_with_nan_rows() {
+        let mut s = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+        s.push(&[0.0, 0.0], None, None);
+        s.push(&[f32::NAN, 0.0], None, None);
+        s.push(&[1.0, 0.0], None, None);
+        s.push(&[f32::NAN, 2.0], None, None);
+        let hits = s.knn(&s, 0, 4);
+        let order: Vec<usize> = hits.iter().map(|h| h.index).collect();
+        // NaN distances sort after all finite ones, tie-broken by index.
+        assert_eq!(order, vec![0, 2, 1, 3]);
+        // Byte-identical to the legacy baseline (f32 `==` is false for
+        // NaN, so compare bit patterns).
+        let bits = |hits: &[RetrievalResult]| -> Vec<(usize, u32)> {
+            hits.iter()
+                .map(|h| (h.index, h.distance.to_bits()))
+                .collect()
+        };
+        assert_eq!(bits(&hits), bits(&s.knn_full_sort(&s, 0, 4)));
+    }
+
+    #[test]
     fn variant_changes_distances() {
         let eu = store_with_rows(PluginVariant::Original);
         let fu = store_with_rows(PluginVariant::FusionDist);
@@ -271,21 +295,23 @@ mod tests {
     }
 
     #[test]
-    fn bytes_roundtrip() {
-        for variant in PluginVariant::ABLATION {
-            let s = store_with_rows(variant);
-            let b = s.to_bytes();
-            let back = EmbeddingStore::from_bytes(b);
-            assert_eq!(back, s, "{}", variant.name());
-        }
-    }
-
-    #[test]
     fn distance_row_matches_pointwise() {
         let s = store_with_rows(PluginVariant::FusionDist);
         let row = s.distance_row_from(&s, 1);
         for (di, &d) in row.iter().enumerate() {
             assert!((d - s.distance_from(&s, 1, di) as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn batched_rows_match_single_rows() {
+        for variant in PluginVariant::ABLATION {
+            let s = store_with_rows(variant);
+            let all = s.distance_rows_from(&s);
+            assert_eq!(all.len(), s.len());
+            for (qi, row) in all.iter().enumerate() {
+                assert_eq!(row, &s.distance_row_from(&s, qi), "{}", variant.name());
+            }
         }
     }
 

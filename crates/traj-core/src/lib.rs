@@ -3,9 +3,10 @@
 //! This crate provides the ground-level data model every other crate builds
 //! on: 2-D (optionally timestamped) points, variable-length trajectories,
 //! datasets with bounding boxes and normalization, uniform spatial grids and
-//! quadtrees (used by the Neutraj- and TrajGAT-style encoders), and a small
+//! quadtrees (used by the Neutraj- and TrajGAT-style encoders), a small
 //! scoped-thread parallel-map utility used to fill O(N²) ground-truth
-//! distance matrices.
+//! distance matrices, and the shared bounded [`topk`] selector every
+//! retrieval surface ranks with.
 //!
 //! Everything here is deliberately framework-free `f64` geometry; the neural
 //! network substrate (`lh-nn`) works in `f32` and converts at its boundary.
@@ -19,6 +20,7 @@ pub mod parallel;
 pub mod point;
 pub mod quadtree;
 pub mod simplify;
+pub mod topk;
 pub mod trajectory;
 
 pub use bbox::BoundingBox;
@@ -28,4 +30,5 @@ pub use grid::UniformGrid;
 pub use point::Point;
 pub use quadtree::{QuadTree, QuadTreeConfig};
 pub use simplify::douglas_peucker;
+pub use topk::TopK;
 pub use trajectory::Trajectory;

@@ -87,17 +87,14 @@ impl DistanceMatrix {
     }
 
     /// Indices of the `k` smallest entries of row `i`, excluding `skip`
-    /// (typically the query itself), ascending by distance.
+    /// (typically the query itself), ascending by distance with index
+    /// tie-break.
+    ///
+    /// Uses the shared bounded selector ([`traj_core::topk`]): O(cols
+    /// log k) instead of a full sort, and `total_cmp`-deterministic even
+    /// when entries are non-finite.
     pub fn knn_of_row(&self, i: usize, k: usize, skip: Option<usize>) -> Vec<usize> {
-        let row = self.row(i);
-        let mut idx: Vec<usize> = (0..self.cols).filter(|&j| Some(j) != skip).collect();
-        idx.sort_by(|&x, &y| {
-            row[x]
-                .partial_cmp(&row[y])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        idx.truncate(k);
-        idx
+        traj_core::topk::topk_indices(self.row(i), k, skip)
     }
 }
 
@@ -217,5 +214,14 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn from_raw_checks_shape() {
         let _ = DistanceMatrix::from_raw(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn knn_deterministic_with_ties_and_nan() {
+        let m = DistanceMatrix::from_raw(1, 6, vec![0.5, f64::NAN, 0.5, 0.1, f64::NAN, 0.5]);
+        // Ties break by index; NaNs sort last (total order) instead of
+        // shuffling the result.
+        assert_eq!(m.knn_of_row(0, 4, None), vec![3, 0, 2, 5]);
+        assert_eq!(m.knn_of_row(0, 6, Some(3)), vec![0, 2, 5, 1, 4]);
     }
 }

@@ -16,6 +16,10 @@ pub trait Buf {
     fn remaining(&self) -> usize;
     /// Reads `n` bytes into `dst` (internal primitive for `get_*`).
     fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Skips `cnt` bytes without copying them (panics past the end),
+    /// matching `bytes::Buf::advance`. Paired with a borrowed view of the
+    /// remainder this enables bulk zero-scratch decoding.
+    fn advance(&mut self, cnt: usize);
 
     /// Reads one byte.
     fn get_u8(&mut self) -> u8 {
@@ -127,6 +131,11 @@ impl Buf for Bytes {
         dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
         self.pos += dst.len();
     }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "Bytes: buffer underflow");
+        self.pos += cnt;
+    }
 }
 
 /// A growable byte buffer that freezes into [`Bytes`].
@@ -196,5 +205,21 @@ mod tests {
     fn underflow_panics() {
         let mut b = Bytes::from(vec![1u8]);
         b.get_u32_le();
+    }
+
+    #[test]
+    fn advance_skips_without_copying() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        b.advance(2);
+        assert_eq!(b.remaining(), 3);
+        assert_eq!(b.as_slice(), &[3, 4, 5]);
+        assert_eq!(b.get_u8(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::from(vec![1u8, 2]);
+        b.advance(3);
     }
 }

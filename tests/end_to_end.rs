@@ -169,9 +169,14 @@ fn embedding_store_bytes_roundtrip_preserves_retrieval() {
         4,
     );
     let store = model.embed(data.trajectories());
-    let reloaded = lh_repro::plugin::EmbeddingStore::from_bytes(store.to_bytes());
+    let reloaded =
+        lh_repro::plugin::EmbeddingStore::from_bytes(store.to_bytes()).expect("valid payload");
     assert_eq!(store, reloaded);
     let a = store.knn(&store, 0, 5);
     let b = reloaded.knn(&reloaded, 0, 5);
     assert_eq!(a, b);
+    // The sharded batched engine agrees with the single-query scan.
+    let sharded = lh_repro::plugin::ShardedStore::new(reloaded, 8);
+    let batch = sharded.knn_batch(&store, 5);
+    assert_eq!(batch[0], a);
 }

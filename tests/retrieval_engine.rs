@@ -1,0 +1,149 @@
+//! Property-based tests for the retrieval query engine: the sharded
+//! batched top-k path must be byte-identical to the brute-force
+//! single-query scan for every plugin variant, and the binary payload
+//! codec must round-trip exactly (including the empty-store and
+//! fusion-factor cases) while rejecting truncated payloads with an error
+//! instead of a panic.
+
+use bytes::Bytes;
+use lh_repro::plugin::{EmbeddingStore, PluginVariant, RetrievalResult, ShardedStore};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FACTOR_DIM: usize = 3;
+
+/// Builds a store of `n` random rows (valid hyperboloid rows for the
+/// Lorentz component, softplus-positive factor rows) from one seed.
+fn random_store(variant: PluginVariant, n: usize, dim: usize, seed: u64) -> EmbeddingStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let beta = 1.0;
+    let mut store = EmbeddingStore::new(
+        dim,
+        variant,
+        beta,
+        variant.uses_fusion().then_some(FACTOR_DIM),
+    );
+    for _ in 0..n {
+        let eu: Vec<f32> = (0..dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let nsq: f32 = eu.iter().map(|v| v * v).sum();
+        let mut hy = vec![(nsq + beta).sqrt()];
+        hy.extend_from_slice(&eu);
+        let fa: Vec<f32> = (0..2 * FACTOR_DIM)
+            .map(|_| rng.gen_range(0.01f32..1.0))
+            .collect();
+        store.push(
+            &eu,
+            variant.uses_hyperbolic().then_some(&hy[..]),
+            variant.uses_fusion().then_some(&fa[..]),
+        );
+    }
+    store
+}
+
+/// Bit-exact view of a result list (f32 `==` would treat NaN as unequal).
+fn bits(hits: &[RetrievalResult]) -> Vec<(usize, u32)> {
+    hits.iter()
+        .map(|h| (h.index, h.distance.to_bits()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `knn_batch` over a sharded store == brute-force single-query scan,
+    /// byte for byte, for all four plugin variants and arbitrary shard
+    /// sizes / k.
+    #[test]
+    fn sharded_batch_matches_single_query_scan(
+        n in 0usize..40,
+        n_queries in 1usize..5,
+        dim in 1usize..6,
+        shard_rows in 1usize..17,
+        k in 0usize..60,
+        seed in 0u64..1_000_000,
+    ) {
+        for variant in PluginVariant::ABLATION {
+            let queries = random_store(variant, n_queries, dim, seed ^ 0x5eed);
+            let sharded = ShardedStore::new(random_store(variant, n, dim, seed), shard_rows);
+            let db = sharded.store();
+            let batch = sharded.knn_batch(&queries, k);
+            prop_assert_eq!(batch.len(), n_queries);
+            for (qi, batch_hits) in batch.iter().enumerate() {
+                let single = db.knn(&queries, qi, k);
+                let legacy = db.knn_full_sort(&queries, qi, k);
+                prop_assert_eq!(
+                    bits(batch_hits),
+                    bits(&single),
+                    "{} n={} shard_rows={} k={} qi={}",
+                    variant.name(), n, shard_rows, k, qi
+                );
+                prop_assert_eq!(
+                    bits(&single),
+                    bits(&legacy),
+                    "{} heap scan vs legacy full sort",
+                    variant.name()
+                );
+            }
+        }
+    }
+
+    /// Payload serialization round-trips exactly, including the empty
+    /// store (`n = 0`) and the fusion-factor case.
+    #[test]
+    fn payload_roundtrip(
+        n in 0usize..30,
+        dim in 1usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        for variant in PluginVariant::ABLATION {
+            let store = random_store(variant, n, dim, seed);
+            let restored = EmbeddingStore::from_bytes(store.to_bytes());
+            prop_assert_eq!(restored.as_ref(), Ok(&store), "{}", variant.name());
+            if variant.uses_fusion() {
+                prop_assert_eq!(
+                    restored.unwrap().factor_dim(),
+                    Some(FACTOR_DIM)
+                );
+            }
+        }
+    }
+
+    /// Any strict prefix of a payload decodes to an error — never a panic
+    /// and never a silently wrong store.
+    #[test]
+    fn truncated_payload_errors(
+        n in 0usize..12,
+        dim in 1usize..5,
+        seed in 0u64..1_000_000,
+        frac in 0.0f64..1.0,
+    ) {
+        for variant in PluginVariant::ABLATION {
+            let full = random_store(variant, n, dim, seed).to_bytes().to_vec();
+            let cut = ((full.len() as f64) * frac) as usize;
+            prop_assume!(cut < full.len());
+            let res = EmbeddingStore::from_bytes(Bytes::from(full[..cut].to_vec()));
+            prop_assert!(res.is_err(), "{} cut={} len={}", variant.name(), cut, full.len());
+        }
+    }
+}
+
+/// Directed (non-property) check: batched results stay deterministic in
+/// the presence of non-finite embedding values.
+#[test]
+fn batch_is_deterministic_with_nan_embeddings() {
+    let mut db = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+    db.push(&[0.0, 0.0], None, None);
+    db.push(&[f32::NAN, 1.0], None, None);
+    db.push(&[2.0, 0.0], None, None);
+    db.push(&[f32::INFINITY, 0.0], None, None);
+    db.push(&[1.0, 0.0], None, None);
+    let sharded = ShardedStore::new(db.clone(), 2);
+    let batch = sharded.knn_batch(&db, 5);
+    for (qi, batch_hits) in batch.iter().enumerate() {
+        assert_eq!(bits(batch_hits), bits(&db.knn(&db, qi, 5)), "qi={qi}");
+    }
+    // Finite distances first, then +∞, then NaN — by total_cmp.
+    let order: Vec<usize> = batch[0].iter().map(|h| h.index).collect();
+    assert_eq!(order, vec![0, 4, 2, 3, 1]);
+}
