@@ -1,0 +1,132 @@
+//! Ground-truth matrix construction: legacy row-chunked vs balanced
+//! dynamic scheduling vs cached reload.
+//!
+//! The workload is deliberately *asymmetric*: trajectory lengths descend
+//! with index, so early rows of the pairwise triangle hold both more
+//! pairs (row `i` has `n−i−1`) and more expensive pairs (longer DP
+//! tables). Static row chunking pins all of that on the first thread;
+//! the balanced schedule drains a shared pair-batch queue and should win
+//! by roughly the row-chunked imbalance factor. `cached` measures the
+//! checkpoint reload path (`MatrixBuilder::cache_dir`) against the same
+//! matrix — the steady-state cost of a re-run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use traj_core::Trajectory;
+use traj_dist::{MatrixBuilder, MeasureKind, Schedule};
+
+/// Length-skewed synthetic trajectories: longest first.
+fn skewed_trajs(n: usize, min_len: usize, max_len: usize) -> Vec<Trajectory> {
+    (0..n)
+        .map(|i| {
+            let len = max_len - (i * (max_len - min_len)) / n.max(1);
+            let phase = i as f64 * 0.37;
+            let pts: Vec<(f64, f64)> = (0..len.max(2))
+                .map(|k| {
+                    let t = k as f64 * 0.05;
+                    (phase + t, (phase + t * 3.1).sin() * 0.2)
+                })
+                .collect();
+            Trajectory::from_xy(&pts).unwrap()
+        })
+        .collect()
+}
+
+/// Prints the static row-chunking load imbalance for this workload: the
+/// share of total DP work landing on the most loaded of `threads`
+/// contiguous row chunks (ideal = 1/threads). Deterministic and
+/// hardware-independent — on a single-core container the wall-clock
+/// columns cannot show the scheduling win, but this number is exactly
+/// what a `threads`-core machine pays for row chunking.
+fn report_row_chunk_imbalance(trajs: &[Trajectory], threads: usize) {
+    let n = trajs.len();
+    let lens: Vec<u64> = trajs.iter().map(|t| t.len() as u64).collect();
+    let suffix: Vec<u64> = {
+        let mut s = vec![0u64; n + 1];
+        for i in (0..n).rev() {
+            s[i] = s[i + 1] + lens[i];
+        }
+        s
+    };
+    // DP cost of row i ≈ len_i · Σ_{j>i} len_j (DTW tables are len×len).
+    let row_cost: Vec<u64> = (0..n).map(|i| lens[i] * suffix[i + 1]).collect();
+    let total: u64 = row_cost.iter().sum();
+    let chunk = n.div_ceil(threads);
+    let max_share = row_cost
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<u64>() as f64 / total as f64)
+        .fold(0.0, f64::max);
+    eprintln!(
+        "workload n={n}: row-chunked most-loaded thread carries {:.1}% of DP work \
+         across {threads} threads (balanced ideal {:.1}%) → speedup capped at {:.2}× of {threads}×",
+        max_share * 100.0,
+        100.0 / threads as f64,
+        1.0 / max_share
+    );
+}
+
+fn bench_pairwise_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_build_dtw");
+    group.sample_size(10);
+    for n in [512usize, 2048] {
+        let trajs = skewed_trajs(n, 4, 24);
+        for threads in [4, 8] {
+            report_row_chunk_imbalance(&trajs, threads);
+        }
+        let measure = MeasureKind::Dtw.measure();
+        for schedule in [Schedule::RowChunked, Schedule::Balanced] {
+            group.bench_with_input(BenchmarkId::new(schedule.name(), n), &trajs, |b, trajs| {
+                let builder = MatrixBuilder::new(measure).schedule(schedule);
+                b.iter(|| std::hint::black_box(builder.build_pairwise(trajs)))
+            });
+        }
+        // Cached reload: one cold build populates the checkpoint, the
+        // bench then times pure cache hits.
+        let dir = std::env::temp_dir().join(format!("lhgm-bench-{}-{}", std::process::id(), n));
+        let builder = MatrixBuilder::new(measure).cache_dir(&dir);
+        builder.build_pairwise(&trajs);
+        group.bench_with_input(BenchmarkId::new("cached", n), &trajs, |b, trajs| {
+            b.iter(|| {
+                let out = builder.build_pairwise(trajs);
+                assert!(out.report.cache.is_hit());
+                std::hint::black_box(out)
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_pruned_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise_build_dtw_pruned");
+    group.sample_size(10);
+    // Longer trajectories: the DP dominates, which is where abandoning
+    // pays.
+    let n = 256;
+    let trajs = skewed_trajs(n, 16, 48);
+    let measure = MeasureKind::Dtw.measure();
+    // Threshold at the 25th percentile of off-diagonal distances: the
+    // "only near neighborhoods need exact values" setting — ~75% of
+    // pairs may abandon.
+    let exact = MatrixBuilder::new(measure).build_pairwise(&trajs);
+    let mut vals: Vec<f64> = exact
+        .matrix
+        .data()
+        .iter()
+        .copied()
+        .filter(|&v| v > 0.0)
+        .collect();
+    vals.sort_by(f64::total_cmp);
+    let threshold = vals[vals.len() / 4];
+    group.bench_function(BenchmarkId::new("exact", n), |b| {
+        let builder = MatrixBuilder::new(measure);
+        b.iter(|| std::hint::black_box(builder.build_pairwise(&trajs)))
+    });
+    group.bench_function(BenchmarkId::new("pruned_p25", n), |b| {
+        let builder = MatrixBuilder::new(measure).prune(threshold);
+        b.iter(|| std::hint::black_box(builder.build_pairwise(&trajs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairwise_build, bench_pruned_build);
+criterion_main!(benches);

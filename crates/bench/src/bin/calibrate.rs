@@ -30,11 +30,23 @@ fn main() {
         full.train_rv
     );
     println!(
-        "original:  HR@5={:.3} HR@10={:.3} HR@50={:.3} NDCG@10={:.3} ({:.1}s train, {:.1}s gt)",
-        orig.eval.hr5, orig.eval.hr10, orig.eval.hr50, orig.eval.ndcg10, orig_time, orig.gt_seconds
+        "original:  HR@5={:.3} HR@10={:.3} HR@50={:.3} NDCG@10={:.3} ({:.1}s train, {:.2}s gt, {}/2 gt cached)",
+        orig.eval.hr5,
+        orig.eval.hr10,
+        orig.eval.hr50,
+        orig.eval.ndcg10,
+        orig_time,
+        orig.gt_seconds,
+        orig.gt_cache_hits
     );
     println!(
-        "lh-plugin: HR@5={:.3} HR@10={:.3} HR@50={:.3} NDCG@10={:.3} ({:.1}s train, {:.1}s gt)",
-        full.eval.hr5, full.eval.hr10, full.eval.hr50, full.eval.ndcg10, full_time, full.gt_seconds
+        "lh-plugin: HR@5={:.3} HR@10={:.3} HR@50={:.3} NDCG@10={:.3} ({:.1}s train, {:.2}s gt, {}/2 gt cached)",
+        full.eval.hr5,
+        full.eval.hr10,
+        full.eval.hr50,
+        full.eval.ndcg10,
+        full_time,
+        full.gt_seconds,
+        full.gt_cache_hits
     );
 }

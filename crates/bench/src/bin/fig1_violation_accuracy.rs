@@ -16,7 +16,7 @@ use lh_core::pipeline::{run_experiment, ExperimentOutcome};
 use lh_metrics::ranking::{hr_at_k, rank_by_distance};
 use lh_metrics::violation::rvs;
 use serde::Serialize;
-use traj_dist::pairwise_matrix;
+use traj_dist::MatrixBuilder;
 
 /// Mean relative violation of the query's neighborhood triples.
 fn query_violation_degree(gt_row: &[f64], db_matrix: &traj_dist::DistanceMatrix, k: usize) -> f64 {
@@ -76,18 +76,30 @@ fn main() {
     let plug = run_experiment(&spec);
     eprintln!("[fig1] plugin trained");
 
-    // Violation degree needs in-database distances too.
-    let measure = spec.measure.measure();
-    let db_matrix = pairwise_matrix(orig.database.trajectories(), &measure);
+    // Violation degree needs in-database distances too; share the run's
+    // checkpoint cache (the training pairwise matrix over the same
+    // database is the same fingerprint — a warm run loads it).
+    let mut builder = MatrixBuilder::new(spec.measure.measure());
+    if let Some(dir) = &spec.gt_cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let db_build = builder.build_pairwise(orig.database.trajectories());
+    eprintln!(
+        "[fig1] db matrix in {:.2}s (cache: {:?})",
+        db_build.report.seconds, db_build.report.cache
+    );
+    let db_matrix = db_build.matrix;
     let degrees: Vec<f64> = (0..orig.queries.len())
         .map(|qi| query_violation_degree(&orig.gt_rows[qi], &db_matrix, 10))
         .collect();
     let hr_orig = per_query_hr(&orig);
     let hr_plug = per_query_hr(&plug);
 
-    // Quartile buckets over the violation degree.
+    // Quartile buckets over the violation degree. `total_cmp` (NaN-safe
+    // total order) instead of `partial_cmp(..).unwrap()`: a degenerate
+    // neighborhood yielding a NaN degree must not panic the whole run.
     let mut sorted = degrees.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let q = |f: f64| sorted[((sorted.len() - 1) as f64 * f) as usize];
     let edges = [sorted[0], q(0.25), q(0.5), q(0.75), *sorted.last().unwrap()];
 

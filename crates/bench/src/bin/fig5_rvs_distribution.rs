@@ -18,7 +18,7 @@ use lh_core::EmbeddingStore;
 use lh_metrics::violation::{rvs, sample_triplets, tvf};
 use lh_metrics::Histogram;
 use serde::Serialize;
-use traj_dist::{pairwise_matrix, DistanceMatrix};
+use traj_dist::{DistanceMatrix, MatrixBuilder};
 
 fn model_rvs(store: &EmbeddingStore, triples: &[(usize, usize, usize)]) -> Vec<f64> {
     triples
@@ -60,9 +60,19 @@ fn main() {
     let plug = run_experiment(&spec);
     eprintln!("[fig5] plugin trained");
 
-    // Violating triples of the database under the ground truth.
-    let measure = spec.measure.measure();
-    let gt: DistanceMatrix = pairwise_matrix(orig.database.trajectories(), &measure);
+    // Violating triples of the database under the ground truth; shares
+    // the run's checkpoint cache (same fingerprint as the training
+    // matrix over this database).
+    let mut builder = MatrixBuilder::new(spec.measure.measure());
+    if let Some(dir) = &spec.gt_cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let gt_build = builder.build_pairwise(orig.database.trajectories());
+    eprintln!(
+        "[fig5] gt matrix in {:.2}s (cache: {:?})",
+        gt_build.report.seconds, gt_build.report.cache
+    );
+    let gt: DistanceMatrix = gt_build.matrix;
     let sample = sample_triplets(
         orig.database.len(),
         args.get("triples", 4000usize),

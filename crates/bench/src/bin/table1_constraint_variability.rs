@@ -6,7 +6,12 @@
 //! violate on every dataset, with dataset-dependent magnitude).
 //!
 //! Usage: `cargo run --release -p lh-bench --bin table1_constraint_variability
-//!        [--n 120] [--triplets 20000] [--edr-eps 0.02] [--seed 42]`
+//!        [--n 120] [--triplets 20000] [--edr-eps 0.02] [--seed 42]
+//!        [--cache-dir target/gt-cache]`
+//!
+//! With `--cache-dir`, each of the 21 ground-truth matrices is
+//! checkpointed; a re-run at the same parameters loads them instead of
+//! recomputing (the final `gt cache hits` line reports how many).
 
 use lh_bench::printer::{pct, write_artifact};
 use lh_bench::{print_header, Args, Table};
@@ -14,7 +19,7 @@ use lh_data::DatasetPreset;
 use lh_metrics::{ratio_of_violation, sample_triplets};
 use serde::Serialize;
 use traj_core::normalize::Normalizer;
-use traj_dist::{pairwise_matrix, MeasureKind};
+use traj_dist::{MatrixBuilder, Measure, MeasureKind};
 
 #[derive(Serialize)]
 struct Cell {
@@ -61,6 +66,24 @@ fn main() {
     let max_triplets = args.get("triplets", 20_000usize);
     let edr_eps = args.get("edr-eps", 0.02f64);
     let seed = args.get("seed", 42u64);
+    let cache_dir = args.get_str("cache-dir").map(str::to_string);
+
+    // One builder per measure config; tracks cache hits across all 21
+    // matrix builds for the summary line (and the CI cache smoke test).
+    let mut gt_builds = 0usize;
+    let mut gt_hits = 0usize;
+    let mut gt_seconds = 0.0f64;
+    let mut build = |measure: Measure, trajs: &[traj_core::Trajectory]| {
+        let mut b = MatrixBuilder::new(measure);
+        if let Some(dir) = &cache_dir {
+            b = b.cache_dir(dir);
+        }
+        let out = b.build_pairwise(trajs);
+        gt_builds += 1;
+        gt_hits += out.report.cache.is_hit() as usize;
+        gt_seconds += out.report.seconds;
+        out.matrix
+    };
 
     print_header(
         "Table I",
@@ -74,7 +97,7 @@ fn main() {
         let triplets = sample_triplets(n, max_triplets, seed);
         for kind in MeasureKind::SPATIAL {
             let measure = kind.measure().with_edr_eps(edr_eps);
-            let matrix = pairwise_matrix(normalized.trajectories(), &measure);
+            let matrix = build(measure, normalized.trajectories());
             let stats = ratio_of_violation(&matrix, &triplets);
             let paper = paper_value(preset, kind);
             table.row(vec![
@@ -108,8 +131,17 @@ fn main() {
         MeasureKind::DiscreteFrechet,
         MeasureKind::Erp,
     ] {
-        let matrix = pairwise_matrix(normalized.trajectories(), &kind.measure());
+        let matrix = build(kind.measure(), normalized.trajectories());
         let stats = ratio_of_violation(&matrix, &triplets);
         println!("  {:<18} RV = {}%", kind.name(), pct(stats.rv));
     }
+
+    println!(
+        "\nground truth: {gt_builds} matrices in {gt_seconds:.2}s, gt cache hits: {gt_hits}/{gt_builds}{}",
+        if cache_dir.is_none() {
+            " (cache disabled; pass --cache-dir to checkpoint)"
+        } else {
+            ""
+        }
+    );
 }

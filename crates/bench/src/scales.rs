@@ -70,6 +70,7 @@ pub fn default_spec(args: &Args) -> ExperimentSpec {
         },
         seed: args.get("seed", 42u64),
         eval_every_epoch: false,
+        gt_cache_dir: args.get_str("cache-dir").map(str::to_string),
     }
 }
 

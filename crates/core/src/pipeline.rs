@@ -11,7 +11,7 @@ use lh_models::{EncoderConfig, ModelKind};
 use serde::{Deserialize, Serialize};
 use traj_core::normalize::Normalizer;
 use traj_core::TrajectoryDataset;
-use traj_dist::{cross_matrix, pairwise_matrix, MeasureKind};
+use traj_dist::{MatrixBuilder, MeasureKind};
 
 /// Everything needed to reproduce one table cell.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -37,6 +37,10 @@ pub struct ExperimentSpec {
     /// Evaluate HR@10 after every epoch (Fig. 7 needs it; costs an extra
     /// embedding pass per epoch).
     pub eval_every_epoch: bool,
+    /// Directory for persistent ground-truth matrix checkpoints
+    /// (fingerprint-keyed; see `traj_dist::MatrixBuilder`). `None`
+    /// recomputes every run.
+    pub gt_cache_dir: Option<String>,
 }
 
 impl ExperimentSpec {
@@ -54,6 +58,7 @@ impl ExperimentSpec {
             trainer: TrainerConfig::default(),
             seed: 42,
             eval_every_epoch: false,
+            gt_cache_dir: None,
         }
     }
 }
@@ -70,6 +75,11 @@ pub struct ExperimentOutcome {
     pub train_rv: f64,
     /// Wall-clock seconds for ground-truth matrix construction.
     pub gt_seconds: f64,
+    /// How many of the two ground-truth matrices (train pairwise +
+    /// query cross) came from the persistent checkpoint cache — context
+    /// for reading `gt_seconds` (a cached run reports milliseconds, not
+    /// a rebuild).
+    pub gt_cache_hits: usize,
     /// The trained model (callers may re-embed or inspect).
     #[serde(skip)]
     pub model: LhModel,
@@ -131,12 +141,22 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentOutcome {
     let n_db = spec.n - spec.n_queries;
     let (database, queries) = normalized.split(n_db as f64 / spec.n as f64);
 
-    // 2. Ground truth: symmetric train matrix + query-db cross matrix.
-    let gt_start = std::time::Instant::now();
+    // 2. Ground truth: symmetric train matrix + query-db cross matrix,
+    // via the builder pipeline (balanced dynamic schedule; checkpointed
+    // when the spec names a cache dir).
     let measure = spec.measure.measure();
-    let train_gt = pairwise_matrix(database.trajectories(), &measure);
-    let cross = cross_matrix(queries.trajectories(), database.trajectories(), &measure);
-    let gt_seconds = gt_start.elapsed().as_secs_f64();
+    let mut builder = MatrixBuilder::new(measure);
+    if let Some(dir) = &spec.gt_cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let train_build = builder.build_pairwise(database.trajectories());
+    let cross_build = builder.build_cross(queries.trajectories(), database.trajectories());
+    let gt_seconds = train_build.report.seconds + cross_build.report.seconds;
+    let gt_cache_hits = [&train_build.report, &cross_build.report]
+        .iter()
+        .filter(|r| r.cache.is_hit())
+        .count();
+    let (train_gt, cross) = (train_build.matrix, cross_build.matrix);
     let gt_rows: Vec<Vec<f64>> = (0..queries.len()).map(|q| cross.row(q).to_vec()).collect();
 
     // Violation context for this training matrix.
@@ -164,6 +184,7 @@ pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentOutcome {
         report,
         train_rv,
         gt_seconds,
+        gt_cache_hits,
         model,
         database,
         queries,
@@ -221,6 +242,27 @@ mod tests {
         spec.eval_every_epoch = true;
         let out = run_experiment(&spec);
         assert!(out.report.history.iter().all(|h| h.eval_metric.is_some()));
+    }
+
+    #[test]
+    fn gt_cache_reports_hits_and_reproduces_results() {
+        let dir = std::env::temp_dir().join(format!("lh-gt-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut spec = tiny_spec();
+        spec.gt_cache_dir = Some(dir.to_string_lossy().into_owned());
+        let cold = run_experiment(&spec);
+        assert_eq!(cold.gt_cache_hits, 0, "first run must build both matrices");
+        let warm = run_experiment(&spec);
+        assert_eq!(
+            warm.gt_cache_hits, 2,
+            "second run must hit for both matrices"
+        );
+        assert_eq!(
+            cold.eval, warm.eval,
+            "cached ground truth must not change results"
+        );
+        assert_eq!(cold.train_rv, warm.train_rv);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

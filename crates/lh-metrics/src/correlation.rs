@@ -31,13 +31,14 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
 }
 
 /// Average ranks with midpoint tie handling.
+///
+/// `total_cmp` + index tie-break (the `traj_core::topk` convention), so
+/// rank assignment — and therefore Spearman — is deterministic even when
+/// a distance field contains NaN: NaNs rank last instead of comparing
+/// "Equal" to everything and shuffling the permutation.
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| {
-        xs[a]
-            .partial_cmp(&xs[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]).then(a.cmp(&b)));
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -107,5 +108,18 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn length_checked() {
         let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_deterministic_with_nan_and_ties() {
+        // NaNs rank last (in index order), finite values keep their
+        // midpoint tie handling — regardless of input permutation noise.
+        let r = ranks(&[3.0, f64::NAN, 3.0, 1.0, f64::NAN]);
+        assert_eq!(r, vec![1.5, 3.0, 1.5, 0.0, 4.0]);
+        // Spearman over a NaN-free permutation of the same finite values
+        // is unchanged by appending a NaN pair at matching positions.
+        let a = [1.0, 2.0, 3.0, f64::NAN];
+        let b = [2.0, 4.0, 6.0, f64::NAN];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
     }
 }

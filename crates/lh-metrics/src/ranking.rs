@@ -10,14 +10,15 @@ use serde::{Deserialize, Serialize};
 
 /// Indices of `0..n` sorted ascending by `distances` (ties by index),
 /// excluding `skip` (typically the query itself).
+///
+/// Ordering is [`f64::total_cmp`] with the index as tie-break — the
+/// `traj_core::topk` convention — so rankings are deterministic even when
+/// a model emits NaN distances: NaNs sort after +∞ instead of collapsing
+/// into `Ordering::Equal` and leaving the order at the mercy of the
+/// sort's element visit order.
 pub fn rank_by_distance(distances: &[f64], skip: Option<usize>) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..distances.len()).filter(|&i| Some(i) != skip).collect();
-    idx.sort_by(|&a, &b| {
-        distances[a]
-            .partial_cmp(&distances[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| distances[a].total_cmp(&distances[b]).then(a.cmp(&b)));
     idx
 }
 
@@ -121,6 +122,20 @@ mod tests {
         let d = [3.0, 1.0, 2.0, 0.5];
         assert_eq!(rank_by_distance(&d, None), vec![3, 1, 2, 0]);
         assert_eq!(rank_by_distance(&d, Some(3)), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn rank_deterministic_with_nan_and_ties() {
+        // NaNs must sort last in a total order (not compare "Equal" to
+        // everything and scramble the sort), and exact ties must break
+        // by index.
+        let d = [0.5, f64::NAN, 0.5, 0.1, f64::NAN, 0.5];
+        assert_eq!(rank_by_distance(&d, None), vec![3, 0, 2, 5, 1, 4]);
+        assert_eq!(rank_by_distance(&d, Some(0)), vec![3, 2, 5, 1, 4]);
+        // The ranking of the finite prefix is unaffected by NaN tail
+        // candidates (they cannot displace real neighbors).
+        let clean = [0.5, f64::INFINITY, 0.5, 0.1, f64::INFINITY, 0.5];
+        assert_eq!(rank_by_distance(&clean, None), rank_by_distance(&d, None));
     }
 
     #[test]

@@ -3,10 +3,16 @@
 //! Filling an N×N ground-truth distance matrix with an O(L²) measure is the
 //! single most expensive CPU step of every experiment, so it is chunked
 //! across threads here. We intentionally avoid a full work-stealing pool:
-//! static row chunking is within a few percent of optimal for these uniform
-//! workloads and keeps the dependency surface to the allowed crates.
+//! a shared-cursor work queue ([`parallel_for`], [`parallel_for_chunks`])
+//! is within a few percent of optimal for these workloads and keeps the
+//! dependency surface to the allowed crates. For non-uniform workloads
+//! (triangular pair sets, length-skewed rows) static chunking is *not*
+//! close to optimal — [`parallel_for_chunks`] plus a [`DisjointSlice`] is
+//! the dynamic-scheduling alternative the matrix builders use.
 
 use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::ops::Range;
 
 /// Number of worker threads to use: the available parallelism, capped so
 /// tiny inputs don't pay spawn overhead.
@@ -87,6 +93,116 @@ where
     });
 }
 
+/// Runs `f` over every index range of `0..n`, split into batches of at
+/// most `batch` indices handed out dynamically from a shared cursor.
+///
+/// Unlike [`parallel_for`]'s fixed heuristic batch, the caller picks the
+/// granularity: small batches balance skewed workloads (a thread that
+/// drew expensive items simply claims fewer batches), large batches
+/// amortize the cursor lock. With `threads == 1` the ranges are visited
+/// serially in order, still in `batch`-sized steps, so per-batch effects
+/// are identical across thread counts.
+pub fn parallel_for_chunks<F>(n: usize, threads: usize, batch: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let batch = batch.max(1);
+    let threads = threads.clamp(1, n.div_ceil(batch));
+    if threads == 1 {
+        let mut start = 0;
+        while start < n {
+            let end = (start + batch).min(n);
+            f(start..end);
+            start = end;
+        }
+        return;
+    }
+    let next = Mutex::new(0usize);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let start = {
+                    let mut g = next.lock();
+                    let s = *g;
+                    if s >= n {
+                        return;
+                    }
+                    *g = (s + batch).min(n);
+                    s
+                };
+                f(start..(start + batch).min(n));
+            });
+        }
+    });
+}
+
+/// A borrowed view of a mutable slice that scoped worker threads can
+/// write through concurrently, provided every index is written by at
+/// most one thread.
+///
+/// `parallel_map` returns per-task values and stitches them afterwards;
+/// for large flat outputs (an N×N distance matrix) that doubles peak
+/// memory and serializes the merge. `DisjointSlice` lets dynamically
+/// scheduled workers write results straight into the final buffer: the
+/// *scheduler* guarantees disjointness (each work item owns fixed output
+/// indices), and [`DisjointSlice::write`] encodes the remaining contract
+/// as an `unsafe` fn.
+pub struct DisjointSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the view hands out no references, only index-checked writes,
+// and `write`'s contract forbids two threads touching the same index, so
+// sharing the view across scoped threads is sound for Send payloads.
+unsafe impl<T: Send> Send for DisjointSlice<'_, T> {}
+unsafe impl<T: Send> Sync for DisjointSlice<'_, T> {}
+
+impl<'a, T> DisjointSlice<'a, T> {
+    /// Wraps a mutable slice; the borrow keeps the underlying storage
+    /// alive and exclusively reserved for the view's lifetime.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        DisjointSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` at `index`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may read or write `index` concurrently (disjoint
+    /// writes only, e.g. each parallel work item owning distinct output
+    /// cells). Out-of-bounds indices panic.
+    pub unsafe fn write(&self, index: usize, value: T) {
+        assert!(
+            index < self.len,
+            "index {index} out of bounds for DisjointSlice of len {}",
+            self.len
+        );
+        // SAFETY: in-bounds by the assert; exclusivity by the caller.
+        unsafe { self.ptr.add(index).write(value) };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +231,62 @@ mod tests {
             counters[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunks_cover_every_index_once() {
+        let n = 4973; // deliberately not a multiple of any batch below
+        for threads in [1, 2, 4] {
+            for batch in [1, 7, 64, 10_000] {
+                let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                parallel_for_chunks(n, threads, batch, |range| {
+                    assert!(range.len() <= batch);
+                    for i in range {
+                        counters[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    counters.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                    "threads={threads} batch={batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_empty_and_zero_batch() {
+        parallel_for_chunks(0, 4, 16, |_| panic!("no work"));
+        // batch = 0 is clamped to 1 instead of looping forever.
+        let hits = AtomicUsize::new(0);
+        parallel_for_chunks(3, 2, 0, |r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn disjoint_slice_parallel_writes_land() {
+        let n = 2048;
+        let mut out = vec![0usize; n];
+        let view = DisjointSlice::new(&mut out);
+        parallel_for_chunks(n, 4, 32, |range| {
+            for i in range {
+                // SAFETY: each index is claimed by exactly one batch.
+                unsafe { view.write(i, i * 3) };
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn disjoint_slice_bounds_checked() {
+        let mut out = [0u8; 4];
+        let view = DisjointSlice::new(&mut out);
+        assert_eq!(view.len(), 4);
+        assert!(!view.is_empty());
+        // SAFETY: single-threaded; the call must panic on bounds.
+        unsafe { view.write(4, 1) };
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! a metric: the paper's Example 1 (reproduced in the tests below) violates
 //! the triangle inequality.
 
+use crate::measure::PrunedDistance;
 use traj_core::Trajectory;
 
 /// Dynamic-time-warping distance between two trajectories with Euclidean
@@ -30,6 +31,50 @@ pub fn dtw(a: &Trajectory, b: &Trajectory) -> f64 {
         std::mem::swap(&mut prev, &mut cur);
     }
     prev[m]
+}
+
+/// How often the early-abandon kernels test the row-minimum bound. Every
+/// row would be admissible too, but the O(m) scan then costs a constant
+/// fraction of the DP itself; every 4th row keeps the overhead near
+/// noise while abandoning at most 3 rows late.
+pub const ABANDON_CHECK_INTERVAL: usize = 4;
+
+/// DTW with early abandoning at `threshold`.
+///
+/// Identical loop structure (and therefore bit-identical results when the
+/// DP completes) to [`dtw`], plus a periodic check: every warping path
+/// crosses every row of the longer trajectory, and point costs are
+/// non-negative, so the minimum cell of a DP row is an admissible lower
+/// bound on the final distance. Once that minimum exceeds `threshold` the
+/// row scan stops and the bound is returned. The final row is never
+/// abandoned — at that point the exact value is already paid for.
+pub fn dtw_early_abandon(a: &Trajectory, b: &Trajectory, threshold: f64) -> PrunedDistance {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let lp = long.points();
+    let sp = short.points();
+    let m = sp.len();
+
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+
+    let last = lp.len() - 1;
+    for (i, pi) in lp.iter().enumerate() {
+        cur[0] = f64::INFINITY;
+        for (j, qj) in sp.iter().enumerate() {
+            let cost = pi.dist(qj);
+            let best = prev[j].min(prev[j + 1]).min(cur[j]);
+            cur[j + 1] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        if i < last && i % ABANDON_CHECK_INTERVAL == ABANDON_CHECK_INTERVAL - 1 {
+            let row_min = prev[1..].iter().copied().fold(f64::INFINITY, f64::min);
+            if row_min > threshold {
+                return PrunedDistance::LowerBound(row_min);
+            }
+        }
+    }
+    PrunedDistance::Exact(prev[m])
 }
 
 /// DTW with a Sakoe–Chiba band of half-width `band` (indices farther than

@@ -41,6 +41,50 @@ pub fn edr(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
     prev[m] as f64
 }
 
+/// EDR with early abandoning at `threshold`.
+///
+/// Same DP as [`edr`] (bit-identical completions — EDR is integer-valued,
+/// so "bit-identical" is simply equality), plus a periodic check (every
+/// [`crate::dtw::ABANDON_CHECK_INTERVAL`] rows): edit costs are
+/// non-negative and every edit path crosses every row, so the row minimum
+/// (including the all-deletions column 0) lower-bounds the final count.
+/// The final row is never abandoned.
+pub fn edr_early_abandon(
+    a: &Trajectory,
+    b: &Trajectory,
+    eps: f64,
+    threshold: f64,
+) -> crate::measure::PrunedDistance {
+    use crate::measure::PrunedDistance;
+    let ap = a.points();
+    let bp = b.points();
+    let (n, m) = (ap.len(), bp.len());
+
+    let mut prev: Vec<u32> = (0..=m as u32).collect();
+    let mut cur = vec![0u32; m + 1];
+    for i in 1..=n {
+        cur[0] = i as u32;
+        for j in 1..=m {
+            let sub_cost = if matches(&ap[i - 1], &bp[j - 1], eps) {
+                0
+            } else {
+                1
+            };
+            cur[j] = (prev[j - 1] + sub_cost)
+                .min(prev[j] + 1)
+                .min(cur[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        if i < n && i % crate::dtw::ABANDON_CHECK_INTERVAL == 0 {
+            let row_min = *prev.iter().min().expect("row is non-empty");
+            if row_min as f64 > threshold {
+                return PrunedDistance::LowerBound(row_min as f64);
+            }
+        }
+    }
+    PrunedDistance::Exact(prev[m] as f64)
+}
+
 /// A scale-aware default tolerance: a fraction of the combined bounding-box
 /// diagonal (EDR literature uses e.g. a fixed number of meters; here data is
 /// normalized so a relative value is appropriate).

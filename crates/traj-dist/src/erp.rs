@@ -5,6 +5,7 @@
 //! compared against the same `g`. Included both for completeness of the
 //! measure library and as a third metric control.
 
+use crate::measure::PrunedDistance;
 use traj_core::{Point, Trajectory};
 
 /// ERP distance with gap-reference point `g`.
@@ -30,6 +31,48 @@ pub fn erp(a: &Trajectory, b: &Trajectory, g: &Point) -> f64 {
         std::mem::swap(&mut prev, &mut cur);
     }
     prev[m]
+}
+
+/// ERP with early abandoning at `threshold`.
+///
+/// Same loop structure (bit-identical completions) as [`erp`], plus a
+/// periodic admissibility check (every
+/// [`crate::dtw::ABANDON_CHECK_INTERVAL`] rows): ERP edit costs are
+/// non-negative and every edit path crosses every row, so the row minimum
+/// (including the all-deletions column 0) lower-bounds the final
+/// distance. The final row is never abandoned.
+pub fn erp_early_abandon(
+    a: &Trajectory,
+    b: &Trajectory,
+    g: &Point,
+    threshold: f64,
+) -> PrunedDistance {
+    let ap = a.points();
+    let bp = b.points();
+    let (n, m) = (ap.len(), bp.len());
+
+    let mut prev = vec![0.0f64; m + 1];
+    let mut cur = vec![0.0f64; m + 1];
+    for j in 1..=m {
+        prev[j] = prev[j - 1] + bp[j - 1].dist(g);
+    }
+    for i in 1..=n {
+        cur[0] = prev[0] + ap[i - 1].dist(g);
+        for j in 1..=m {
+            let match_cost = prev[j - 1] + ap[i - 1].dist(&bp[j - 1]);
+            let del_a = prev[j] + ap[i - 1].dist(g);
+            let del_b = cur[j - 1] + bp[j - 1].dist(g);
+            cur[j] = match_cost.min(del_a).min(del_b);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        if i < n && i % crate::dtw::ABANDON_CHECK_INTERVAL == 0 {
+            let row_min = prev.iter().copied().fold(f64::INFINITY, f64::min);
+            if row_min > threshold {
+                return PrunedDistance::LowerBound(row_min);
+            }
+        }
+    }
+    PrunedDistance::Exact(prev[m])
 }
 
 /// ERP with the origin as the gap reference (common convention once data is

@@ -7,7 +7,10 @@
 //!
 //! All dynamic-programming measures use rolling row buffers (O(min(n,m))
 //! memory) and `f64` accumulation. [`matrix`] fills full and rectangular
-//! pairwise matrices in parallel.
+//! pairwise matrices in parallel through the [`MatrixBuilder`] pipeline:
+//! dynamically scheduled pair batches (balanced across the triangular
+//! workload), opt-in admissible early-abandon pruning for the DP
+//! measures, and persistent fingerprint-keyed checkpoints.
 
 pub mod dtw;
 pub mod edr;
@@ -26,7 +29,10 @@ pub use erp::erp;
 pub use frechet::discrete_frechet;
 pub use hausdorff::hausdorff;
 pub use lcss::lcss_distance;
-pub use matrix::{cross_matrix, pairwise_matrix, DistanceMatrix};
-pub use measure::{Measure, MeasureKind};
+pub use matrix::{
+    cross_matrix, pairwise_matrix, BuildReport, CacheError, CacheOutcome, DistanceMatrix,
+    MatrixBuild, MatrixBuilder, Schedule,
+};
+pub use measure::{Measure, MeasureKind, PrunedDistance};
 pub use sspd::sspd;
 pub use st::{dita, tp};

@@ -1,0 +1,772 @@
+//! The ground-truth matrix construction pipeline.
+//!
+//! The legacy free functions handed `parallel_map` one task per row. For
+//! a symmetric matrix the workload is *triangular* — row `i` holds
+//! `n−i−1` pairs — so contiguous row chunks load the first thread with
+//! `O(n)` pairs per row while the last thread idles over near-empty rows,
+//! and wall-clock time is bounded by the most loaded thread instead of
+//! the hardware. [`MatrixBuilder`] replaces that with:
+//!
+//! * **Balanced dynamic scheduling** (the default): the upper-triangle
+//!   pair set is linearized, split into fixed-size batches, and handed
+//!   out from a shared work queue ([`traj_core::parallel::parallel_for_chunks`]);
+//!   workers write finished distances straight into the shared flat
+//!   buffer through a [`DisjointSlice`] — no per-row `Vec` allocations,
+//!   no merge pass. Because each pair's distance is computed by the same
+//!   kernel call and written to fixed cells, the result is **bit-identical**
+//!   across schedules and thread counts.
+//! * **Opt-in threshold pruning** ([`MatrixBuilder::prune`]): DP measures
+//!   with non-negative cell costs (DTW/ERP/EDR) abandon a pair once no
+//!   alignment can stay under the threshold, recording an admissible
+//!   lower bound instead (see [`crate::measure::PrunedDistance`]); other
+//!   measures fall back to the exact kernel.
+//! * **Persistent checkpoints** ([`MatrixBuilder::cache_dir`]): finished
+//!   matrices are stored under a fingerprint of (dataset bits, measure
+//!   parameters, pruning config, shape) in the [`super::cache`] binary
+//!   format, so re-runs skip construction entirely and report a
+//!   [`CacheOutcome::Hit`].
+
+use super::cache;
+use super::DistanceMatrix;
+use crate::measure::Measure;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use traj_core::parallel::{default_threads, parallel_for_chunks, parallel_map, DisjointSlice};
+use traj_core::Trajectory;
+
+/// How pair work is distributed across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Single-threaded reference loop (the byte-identity oracle).
+    Serial,
+    /// The legacy static split: one task per row, contiguous row chunks
+    /// per thread. Kept as the bench baseline — it loses to `Balanced`
+    /// on triangular or length-skewed workloads.
+    RowChunked,
+    /// Dynamically scheduled pair batches from a shared work queue,
+    /// written directly into the output buffer.
+    #[default]
+    Balanced,
+}
+
+impl Schedule {
+    /// Display name (bench labels, logs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Schedule::Serial => "serial",
+            Schedule::RowChunked => "row-chunked",
+            Schedule::Balanced => "balanced",
+        }
+    }
+}
+
+/// Whether a build was served from the persistent checkpoint cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheOutcome {
+    /// No cache directory configured.
+    Disabled,
+    /// No (valid) checkpoint existed; the matrix was computed and stored.
+    Miss,
+    /// The matrix was loaded from a checkpoint; no distances were
+    /// computed.
+    Hit,
+}
+
+impl CacheOutcome {
+    /// Whether this build was served from cache.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+/// What a build did: where the time went and where the matrix came from.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct BuildReport {
+    /// Wall-clock seconds for the whole build (including cache I/O).
+    pub seconds: f64,
+    /// Cache disposition of this build.
+    pub cache: CacheOutcome,
+    /// Distance evaluations performed (0 on a cache hit; excludes the
+    /// mirrored writes of symmetric matrices).
+    pub pairs_computed: usize,
+    /// Evaluations that abandoned early under the pruning threshold.
+    pub pairs_pruned: usize,
+}
+
+/// A finished matrix plus its [`BuildReport`].
+#[derive(Debug, Clone)]
+pub struct MatrixBuild {
+    /// The distance matrix.
+    pub matrix: DistanceMatrix,
+    /// How it was built.
+    pub report: BuildReport,
+}
+
+/// Configurable builder for pairwise and cross distance matrices.
+///
+/// ```
+/// use traj_core::Trajectory;
+/// use traj_dist::{MatrixBuilder, MeasureKind};
+///
+/// let trajs: Vec<Trajectory> = (0..6)
+///     .map(|i| Trajectory::from_xy(&[(i as f64, 0.0), (i as f64, 1.0)]).unwrap())
+///     .collect();
+/// let build = MatrixBuilder::new(MeasureKind::Dtw.measure()).build_pairwise(&trajs);
+/// assert_eq!(build.matrix.rows(), 6);
+/// assert_eq!(build.report.pairs_computed, 15); // upper triangle only
+/// ```
+#[derive(Debug, Clone)]
+pub struct MatrixBuilder {
+    measure: Measure,
+    schedule: Schedule,
+    threads: Option<usize>,
+    pair_batch: usize,
+    prune_threshold: Option<f64>,
+    cache_dir: Option<PathBuf>,
+}
+
+/// Default pair-batch size: small enough that a thread drawing expensive
+/// pairs claims fewer batches, large enough to amortize the queue lock
+/// (a batch is hundreds of microseconds of DP work at typical lengths).
+const DEFAULT_PAIR_BATCH: usize = 256;
+
+impl MatrixBuilder {
+    /// A builder with the balanced schedule, no pruning, no cache.
+    pub fn new(measure: Measure) -> Self {
+        MatrixBuilder {
+            measure,
+            schedule: Schedule::default(),
+            threads: None,
+            pair_batch: DEFAULT_PAIR_BATCH,
+            prune_threshold: None,
+            cache_dir: None,
+        }
+    }
+
+    /// Overrides the scheduling strategy.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Pins the worker-thread count (default: hardware parallelism capped
+    /// by available batches).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Overrides the balanced schedule's pair-batch size.
+    pub fn pair_batch(mut self, batch: usize) -> Self {
+        self.pair_batch = batch.max(1);
+        self
+    }
+
+    /// Enables admissible early-abandon pruning at `threshold`: entries
+    /// whose true distance is ≤ `threshold` stay exact; larger entries
+    /// may be replaced by a certified lower bound (still > `threshold`).
+    /// Only DTW/ERP/EDR can abandon; other measures compute exactly.
+    pub fn prune(mut self, threshold: f64) -> Self {
+        self.prune_threshold = Some(threshold);
+        self
+    }
+
+    /// Enables persistent checkpoints under `dir`, keyed by content
+    /// fingerprint. Stale or corrupt checkpoints are treated as misses
+    /// and overwritten.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// One pair evaluation honoring the pruning config; returns the value
+    /// and whether it was abandoned.
+    #[inline]
+    fn eval(&self, a: &Trajectory, b: &Trajectory) -> (f64, bool) {
+        match self.prune_threshold {
+            Some(t) if self.measure.supports_early_abandon() => {
+                let p = self.measure.distance_pruned(a, b, t);
+                (p.value(), p.abandoned())
+            }
+            _ => (self.measure.distance(a, b), false),
+        }
+    }
+
+    /// Serves a build from cache if a valid checkpoint with the expected
+    /// shape exists.
+    fn try_cache_load(&self, fingerprint: u64, rows: usize, cols: usize) -> Option<DistanceMatrix> {
+        let dir = self.cache_dir.as_deref()?;
+        let m = cache::load(&cache::cache_path(dir, fingerprint), fingerprint).ok()?;
+        // The fingerprint already covers the shape; the explicit check
+        // turns a (vanishingly unlikely) collision into a miss instead of
+        // a shape panic downstream.
+        (m.rows() == rows && m.cols() == cols).then_some(m)
+    }
+
+    /// Best-effort checkpoint write; a full disk or read-only cache dir
+    /// must not fail the build that just computed a perfectly good
+    /// matrix.
+    fn try_cache_store(&self, fingerprint: u64, matrix: &DistanceMatrix) {
+        if let Some(dir) = self.cache_dir.as_deref() {
+            if let Err(e) = cache::store(&cache::cache_path(dir, fingerprint), fingerprint, matrix)
+            {
+                eprintln!("[matrix-cache] checkpoint write failed (continuing): {e}");
+            }
+        }
+    }
+
+    /// Full symmetric N×N matrix over `trajs` (upper triangle computed,
+    /// mirrored into both halves; zero diagonal).
+    pub fn build_pairwise(&self, trajs: &[Trajectory]) -> MatrixBuild {
+        let start = std::time::Instant::now();
+        let n = trajs.len();
+        let fingerprint = self.fingerprint(b"pairwise", &[trajs]);
+        if let Some(matrix) = self.try_cache_load(fingerprint, n, n) {
+            return MatrixBuild {
+                matrix,
+                report: BuildReport {
+                    seconds: start.elapsed().as_secs_f64(),
+                    cache: CacheOutcome::Hit,
+                    pairs_computed: 0,
+                    pairs_pruned: 0,
+                },
+            };
+        }
+
+        let total_pairs = n * n.saturating_sub(1) / 2;
+        let pruned = AtomicUsize::new(0);
+        let mut data = vec![0.0; n * n];
+        match self.schedule {
+            Schedule::Serial => {
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        let (d, was_pruned) = self.eval(&trajs[i], &trajs[j]);
+                        if was_pruned {
+                            pruned.fetch_add(1, Ordering::Relaxed);
+                        }
+                        data[i * n + j] = d;
+                        data[j * n + i] = d;
+                    }
+                }
+            }
+            Schedule::RowChunked => {
+                // The legacy layout, preserved verbatim as the bench
+                // baseline: one upper-triangle segment per row, rows
+                // statically chunked across threads, merged afterwards.
+                let threads = self.threads.unwrap_or_else(|| default_threads(n));
+                let rows: Vec<Vec<f64>> = parallel_map(n, threads, |i| {
+                    let mut row = vec![0.0; n - i];
+                    for j in (i + 1)..n {
+                        let (d, was_pruned) = self.eval(&trajs[i], &trajs[j]);
+                        if was_pruned {
+                            pruned.fetch_add(1, Ordering::Relaxed);
+                        }
+                        row[j - i] = d;
+                    }
+                    row
+                });
+                for (i, row) in rows.iter().enumerate() {
+                    for (off, &d) in row.iter().enumerate() {
+                        let j = i + off;
+                        data[i * n + j] = d;
+                        data[j * n + i] = d;
+                    }
+                }
+            }
+            Schedule::Balanced => {
+                let batch = self.pair_batch;
+                let threads = self
+                    .threads
+                    .unwrap_or_else(|| default_threads(total_pairs.div_ceil(batch)));
+                let view = DisjointSlice::new(&mut data);
+                parallel_for_chunks(total_pairs, threads, batch, |range| {
+                    let (mut i, mut j) = pair_at(range.start, n);
+                    let mut batch_pruned = 0;
+                    for _ in range {
+                        let (d, was_pruned) = self.eval(&trajs[i], &trajs[j]);
+                        if was_pruned {
+                            batch_pruned += 1;
+                        }
+                        // SAFETY: pair (i, j) with i < j is claimed by
+                        // exactly one batch, and cells (i,j)/(j,i) belong
+                        // to that pair alone; the diagonal is untouched.
+                        unsafe {
+                            view.write(i * n + j, d);
+                            view.write(j * n + i, d);
+                        }
+                        j += 1;
+                        if j == n {
+                            i += 1;
+                            j = i + 1;
+                        }
+                    }
+                    if batch_pruned > 0 {
+                        pruned.fetch_add(batch_pruned, Ordering::Relaxed);
+                    }
+                });
+            }
+        }
+        let matrix = DistanceMatrix::from_raw(n, n, data);
+        self.try_cache_store(fingerprint, &matrix);
+        MatrixBuild {
+            matrix,
+            report: BuildReport {
+                seconds: start.elapsed().as_secs_f64(),
+                cache: if self.cache_dir.is_some() {
+                    CacheOutcome::Miss
+                } else {
+                    CacheOutcome::Disabled
+                },
+                pairs_computed: total_pairs,
+                pairs_pruned: pruned.into_inner(),
+            },
+        }
+    }
+
+    /// Rectangular |queries| × |base| matrix.
+    pub fn build_cross(&self, queries: &[Trajectory], base: &[Trajectory]) -> MatrixBuild {
+        let start = std::time::Instant::now();
+        let (n, m) = (queries.len(), base.len());
+        let fingerprint = self.fingerprint(b"cross", &[queries, base]);
+        if let Some(matrix) = self.try_cache_load(fingerprint, n, m) {
+            return MatrixBuild {
+                matrix,
+                report: BuildReport {
+                    seconds: start.elapsed().as_secs_f64(),
+                    cache: CacheOutcome::Hit,
+                    pairs_computed: 0,
+                    pairs_pruned: 0,
+                },
+            };
+        }
+
+        let total_cells = n * m;
+        let pruned = AtomicUsize::new(0);
+        let mut data;
+        match self.schedule {
+            Schedule::Serial => {
+                data = Vec::with_capacity(total_cells);
+                for q in queries {
+                    for b in base {
+                        let (d, was_pruned) = self.eval(q, b);
+                        if was_pruned {
+                            pruned.fetch_add(1, Ordering::Relaxed);
+                        }
+                        data.push(d);
+                    }
+                }
+            }
+            Schedule::RowChunked => {
+                let threads = self.threads.unwrap_or_else(|| default_threads(n));
+                let rows: Vec<Vec<f64>> = parallel_map(n, threads, |i| {
+                    base.iter()
+                        .map(|b| {
+                            let (d, was_pruned) = self.eval(&queries[i], b);
+                            if was_pruned {
+                                pruned.fetch_add(1, Ordering::Relaxed);
+                            }
+                            d
+                        })
+                        .collect()
+                });
+                data = Vec::with_capacity(total_cells);
+                for row in rows {
+                    data.extend_from_slice(&row);
+                }
+            }
+            Schedule::Balanced => {
+                data = vec![0.0; total_cells];
+                let batch = self.pair_batch;
+                let threads = self
+                    .threads
+                    .unwrap_or_else(|| default_threads(total_cells.div_ceil(batch)));
+                let view = DisjointSlice::new(&mut data);
+                parallel_for_chunks(total_cells, threads, batch, |range| {
+                    let mut batch_pruned = 0;
+                    for cell in range {
+                        let (d, was_pruned) = self.eval(&queries[cell / m], &base[cell % m]);
+                        if was_pruned {
+                            batch_pruned += 1;
+                        }
+                        // SAFETY: each flat cell index is claimed by
+                        // exactly one batch.
+                        unsafe { view.write(cell, d) };
+                    }
+                    if batch_pruned > 0 {
+                        pruned.fetch_add(batch_pruned, Ordering::Relaxed);
+                    }
+                });
+            }
+        }
+        let matrix = DistanceMatrix::from_raw(n, m, data);
+        self.try_cache_store(fingerprint, &matrix);
+        MatrixBuild {
+            matrix,
+            report: BuildReport {
+                seconds: start.elapsed().as_secs_f64(),
+                cache: if self.cache_dir.is_some() {
+                    CacheOutcome::Miss
+                } else {
+                    CacheOutcome::Disabled
+                },
+                pairs_computed: total_cells,
+                pairs_pruned: pruned.into_inner(),
+            },
+        }
+    }
+
+    /// Content fingerprint of a build: matrix kind, every input
+    /// trajectory's raw coordinate bits, the full measure configuration,
+    /// and the pruning threshold. Anything that can change a single
+    /// output byte must feed in here.
+    fn fingerprint(&self, kind_tag: &[u8], traj_sets: &[&[Trajectory]]) -> u64 {
+        let mut h = Fnv::new();
+        h.write(kind_tag);
+        h.write_u64(cache::VERSION as u64);
+        hash_measure(&mut h, &self.measure);
+        match self
+            .prune_threshold
+            .filter(|_| self.measure.supports_early_abandon())
+        {
+            Some(t) => {
+                h.write(&[1]);
+                h.write_u64(t.to_bits());
+            }
+            None => h.write(&[0]),
+        }
+        for trajs in traj_sets {
+            h.write_u64(trajs.len() as u64);
+            for t in *trajs {
+                h.write_u64(t.len() as u64);
+                for p in t.points() {
+                    h.write_u64(p.x.to_bits());
+                    h.write_u64(p.y.to_bits());
+                    match p.t {
+                        Some(t) => {
+                            h.write(&[1]);
+                            h.write_u64(t.to_bits());
+                        }
+                        None => h.write(&[0]),
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty for cache keying —
+/// a collision requires two different datasets to hash identically *and*
+/// share a matrix shape, and the loader still validates shape.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Feeds the measure parameters into the fingerprint — only the ones
+/// this kind's kernel actually reads, so tweaking e.g. the EDR tolerance
+/// does not invalidate cached DTW/SSPD/… matrices whose contents cannot
+/// have changed.
+fn hash_measure(h: &mut Fnv, m: &Measure) {
+    use crate::measure::MeasureKind;
+    h.write(m.kind.name().as_bytes());
+    match m.kind {
+        MeasureKind::Edr => h.write_u64(m.edr_eps.to_bits()),
+        MeasureKind::Lcss => h.write_u64(m.lcss_eps.to_bits()),
+        MeasureKind::Erp => {
+            h.write_u64(m.erp_gap.x.to_bits());
+            h.write_u64(m.erp_gap.y.to_bits());
+        }
+        MeasureKind::Tp => h.write_u64(m.tp.time_weight.to_bits()),
+        MeasureKind::Dita => {
+            h.write_u64(m.dita.num_pivots as u64);
+            h.write_u64(m.dita.time_weight.to_bits());
+        }
+        MeasureKind::Dtw
+        | MeasureKind::Sspd
+        | MeasureKind::Hausdorff
+        | MeasureKind::DiscreteFrechet => {}
+    }
+}
+
+/// Pairs with first index < `i` in the row-major upper-triangle
+/// enumeration of `n` items: `i` rows of lengths `n−1, n−2, …`.
+#[inline]
+fn pairs_before_row(i: usize, n: usize) -> usize {
+    i * (2 * n - i - 1) / 2
+}
+
+/// Inverts the row-major linearization of the upper-triangle pair set:
+/// position `p` in `(0,1), (0,2), …, (0,n−1), (1,2), …` → `(i, j)`.
+///
+/// A float inversion of the row-prefix quadratic lands within one row of
+/// the answer for any matrix that fits in memory; two correction loops
+/// make it exact in integers.
+fn pair_at(p: usize, n: usize) -> (usize, usize) {
+    debug_assert!(n >= 2 && p < n * (n - 1) / 2);
+    let nf = n as f64;
+    let guess = nf - 0.5 - ((nf - 0.5) * (nf - 0.5) - 2.0 * p as f64).max(0.0).sqrt();
+    let mut i = (guess.max(0.0) as usize).min(n - 2);
+    while i < n - 2 && pairs_before_row(i + 1, n) <= p {
+        i += 1;
+    }
+    while pairs_before_row(i, n) > p {
+        i -= 1;
+    }
+    let j = i + 1 + (p - pairs_before_row(i, n));
+    (i, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::MeasureKind;
+
+    #[test]
+    fn pair_unranking_exhaustive_small_n() {
+        for n in 2..40 {
+            let mut p = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    assert_eq!(pair_at(p, n), (i, j), "n={n} p={p}");
+                    p += 1;
+                }
+            }
+            assert_eq!(p, n * (n - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn pair_unranking_large_n_spot_checks() {
+        // Large n stresses the float guess; verify at the extremes of
+        // every region (row starts, row ends, global ends).
+        for n in [1_000usize, 65_536, 1_000_000] {
+            let total = n * (n - 1) / 2;
+            for p in [0, 1, n - 2, n - 1, total / 2, total - 2, total - 1] {
+                let (i, j) = pair_at(p, n);
+                assert!(i < j && j < n, "n={n} p={p} -> ({i},{j})");
+                assert_eq!(pairs_before_row(i, n) + (j - i - 1), p, "n={n} p={p}");
+            }
+            for row in [0usize, 1, n / 3, n / 2, n - 2] {
+                let start = pairs_before_row(row, n);
+                assert_eq!(pair_at(start, n), (row, row + 1), "row start, n={n}");
+                let end = start + (n - row - 2);
+                assert_eq!(pair_at(end, n), (row, n - 1), "row end, n={n}");
+            }
+        }
+    }
+
+    fn skewed_trajs(n: usize) -> Vec<Trajectory> {
+        // Lengths descend with index so early rows are heavy — the
+        // worst case for static row chunking.
+        (0..n)
+            .map(|i| {
+                let len = 2 + (n - i) % 7;
+                let pts: Vec<(f64, f64)> = (0..len)
+                    .map(|k| (i as f64 * 0.1 + k as f64, (k as f64 * 0.7).sin()))
+                    .collect();
+                Trajectory::from_xy(&pts).unwrap()
+            })
+            .collect()
+    }
+
+    fn bits(m: &DistanceMatrix) -> Vec<u64> {
+        m.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn schedules_are_bit_identical() {
+        let ts = skewed_trajs(17);
+        let measure = MeasureKind::Dtw.measure();
+        let serial = MatrixBuilder::new(measure)
+            .schedule(Schedule::Serial)
+            .build_pairwise(&ts);
+        for schedule in [Schedule::RowChunked, Schedule::Balanced] {
+            for threads in [1, 3, 8] {
+                let par = MatrixBuilder::new(measure)
+                    .schedule(schedule)
+                    .threads(threads)
+                    .pair_batch(5)
+                    .build_pairwise(&ts);
+                assert_eq!(
+                    bits(&serial.matrix),
+                    bits(&par.matrix),
+                    "{} threads={threads}",
+                    schedule.name()
+                );
+            }
+        }
+        assert_eq!(serial.report.pairs_computed, 17 * 16 / 2);
+        assert_eq!(serial.report.cache, CacheOutcome::Disabled);
+    }
+
+    #[test]
+    fn cross_schedules_are_bit_identical() {
+        let ts = skewed_trajs(13);
+        let measure = MeasureKind::Sspd.measure();
+        let serial = MatrixBuilder::new(measure)
+            .schedule(Schedule::Serial)
+            .build_cross(&ts[..4], &ts);
+        for schedule in [Schedule::RowChunked, Schedule::Balanced] {
+            let par = MatrixBuilder::new(measure)
+                .schedule(schedule)
+                .threads(4)
+                .pair_batch(3)
+                .build_cross(&ts[..4], &ts);
+            assert_eq!(
+                bits(&serial.matrix),
+                bits(&par.matrix),
+                "{}",
+                schedule.name()
+            );
+        }
+        assert_eq!(serial.report.pairs_computed, 4 * 13);
+    }
+
+    #[test]
+    fn pruning_counts_and_admissibility() {
+        // Long enough that the periodic abandon check (every
+        // ABANDON_CHECK_INTERVAL rows) fires well before the final row.
+        let ts: Vec<Trajectory> = (0..12)
+            .map(|i| {
+                let pts: Vec<(f64, f64)> = (0..20)
+                    .map(|k| (i as f64 + k as f64 * 0.3, (k as f64 * 0.5 + i as f64).sin()))
+                    .collect();
+                Trajectory::from_xy(&pts).unwrap()
+            })
+            .collect();
+        let measure = MeasureKind::Dtw.measure();
+        let exact = MatrixBuilder::new(measure).build_pairwise(&ts);
+        let threshold = exact.matrix.off_diagonal_mean();
+        let pruned = MatrixBuilder::new(measure)
+            .prune(threshold)
+            .build_pairwise(&ts);
+        assert!(
+            pruned.report.pairs_pruned > 0,
+            "threshold at the mean must prune"
+        );
+        for i in 0..12 {
+            for j in 0..12 {
+                let (e, p) = (exact.matrix.get(i, j), pruned.matrix.get(i, j));
+                assert!(p <= e + 1e-12, "lower bound exceeded exact at ({i},{j})");
+                if e <= threshold {
+                    assert_eq!(e.to_bits(), p.to_bits(), "sub-threshold entry not exact");
+                } else {
+                    assert!(p > threshold, "pruned entry fell below threshold");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_miss_then_hit_roundtrips_bits() {
+        let dir = std::env::temp_dir().join(format!("lhgm-builder-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ts = skewed_trajs(9);
+        let builder = MatrixBuilder::new(MeasureKind::Erp.measure()).cache_dir(&dir);
+        let first = builder.build_pairwise(&ts);
+        assert_eq!(first.report.cache, CacheOutcome::Miss);
+        let second = builder.build_pairwise(&ts);
+        assert_eq!(second.report.cache, CacheOutcome::Hit);
+        assert_eq!(second.report.pairs_computed, 0);
+        assert_eq!(bits(&first.matrix), bits(&second.matrix));
+        // A different measure parameter must change the fingerprint.
+        let other = MatrixBuilder::new(MeasureKind::Edr.measure().with_edr_eps(0.5))
+            .cache_dir(&dir)
+            .build_pairwise(&ts);
+        assert_eq!(other.report.cache, CacheOutcome::Miss);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn irrelevant_measure_params_keep_cache_hits() {
+        let dir = std::env::temp_dir().join(format!("lhgm-selective-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ts = skewed_trajs(8);
+        // A DTW checkpoint must survive an EDR-tolerance tweak (DTW never
+        // reads edr_eps)…
+        let dtw = MeasureKind::Dtw.measure();
+        MatrixBuilder::new(dtw).cache_dir(&dir).build_pairwise(&ts);
+        let retuned = MatrixBuilder::new(dtw.with_edr_eps(0.5))
+            .cache_dir(&dir)
+            .build_pairwise(&ts);
+        assert_eq!(retuned.report.cache, CacheOutcome::Hit);
+        // …while the same tweak on an EDR build must miss.
+        let edr = MeasureKind::Edr.measure();
+        MatrixBuilder::new(edr).cache_dir(&dir).build_pairwise(&ts);
+        let edr_retuned = MatrixBuilder::new(edr.with_edr_eps(0.5))
+            .cache_dir(&dir)
+            .build_pairwise(&ts);
+        assert_eq!(edr_retuned.report.cache, CacheOutcome::Miss);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rebuilt() {
+        let dir = std::env::temp_dir().join(format!("lhgm-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ts = skewed_trajs(7);
+        let builder = MatrixBuilder::new(MeasureKind::Dtw.measure()).cache_dir(&dir);
+        let first = builder.build_pairwise(&ts);
+        // Truncate every checkpoint in the dir.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        }
+        let rebuilt = builder.build_pairwise(&ts);
+        assert_eq!(rebuilt.report.cache, CacheOutcome::Miss);
+        assert_eq!(bits(&first.matrix), bits(&rebuilt.matrix));
+        // And the rewrite healed the cache.
+        assert_eq!(builder.build_pairwise(&ts).report.cache, CacheOutcome::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cross_cache_distinct_from_pairwise() {
+        let dir = std::env::temp_dir().join(format!("lhgm-cross-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ts = skewed_trajs(8);
+        let builder = MatrixBuilder::new(MeasureKind::Dtw.measure()).cache_dir(&dir);
+        builder.build_pairwise(&ts);
+        // Same trajectory set as a cross build must not hit the pairwise
+        // checkpoint (different kind tag and shape).
+        let cross = builder.build_cross(&ts, &ts);
+        assert_eq!(cross.report.cache, CacheOutcome::Miss);
+        assert_eq!(
+            builder.build_cross(&ts, &ts).report.cache,
+            CacheOutcome::Hit
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let builder = MatrixBuilder::new(MeasureKind::Dtw.measure());
+        let empty = builder.build_pairwise(&[]);
+        assert_eq!(empty.matrix.rows(), 0);
+        assert_eq!(empty.report.pairs_computed, 0);
+        let one = builder.build_pairwise(&skewed_trajs(1));
+        assert_eq!(one.matrix.rows(), 1);
+        assert_eq!(one.matrix.get(0, 0), 0.0);
+    }
+}

@@ -1,13 +1,21 @@
 //! Parallel pairwise ground-truth distance matrices.
 //!
 //! Training needs `Dist*(T_i, T_j)` for many pairs; with O(L²) measures and
-//! N trajectories this is the dominant CPU cost, so rows are computed in
-//! parallel via `traj_core::parallel`. Symmetric matrices only compute the
-//! upper triangle.
+//! N trajectories this is the dominant CPU cost of every experiment. The
+//! [`builder`] submodule owns construction — a dynamically scheduled,
+//! optionally pruned and cached [`MatrixBuilder`] pipeline — while this
+//! module keeps the dense [`DistanceMatrix`] container and the historical
+//! one-call entry points ([`pairwise_matrix`], [`cross_matrix`]), which are
+//! now thin wrappers over the builder's defaults.
+
+pub mod builder;
+pub mod cache;
+
+pub use builder::{BuildReport, CacheOutcome, MatrixBuild, MatrixBuilder, Schedule};
+pub use cache::CacheError;
 
 use crate::measure::Measure;
 use serde::{Deserialize, Serialize};
-use traj_core::parallel::{default_threads, parallel_map};
 use traj_core::Trajectory;
 
 /// A dense row-major distance matrix.
@@ -16,6 +24,24 @@ pub struct DistanceMatrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+/// Neumaier-compensated sum: tracks the low-order bits the running sum
+/// drops, so means over millions of entries (or mixed-magnitude data)
+/// don't accumulate O(n·ε) error the way a naive fold does.
+fn compensated_sum(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut compensation = 0.0;
+    for v in values {
+        let t = sum + v;
+        compensation += if sum.abs() >= v.abs() {
+            (sum - t) + v
+        } else {
+            (v - t) + sum
+        };
+        sum = t;
+    }
+    sum + compensation
 }
 
 impl DistanceMatrix {
@@ -53,11 +79,13 @@ impl DistanceMatrix {
     }
 
     /// Mean of all entries (used to normalize training targets).
+    /// Compensated, so it stays accurate on `1e6+`-entry matrices of tiny
+    /// or mixed-magnitude values.
     pub fn mean(&self) -> f64 {
         if self.data.is_empty() {
             return 0.0;
         }
-        self.data.iter().sum::<f64>() / self.data.len() as f64
+        compensated_sum(self.data.iter().copied()) / self.data.len() as f64
     }
 
     /// Mean of off-diagonal entries for square matrices; plain mean
@@ -67,15 +95,14 @@ impl DistanceMatrix {
         if self.rows != self.cols || self.rows < 2 {
             return self.mean();
         }
-        let mut acc = 0.0;
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                if i != j {
-                    acc += self.get(i, j);
-                }
-            }
-        }
-        acc / (self.rows * (self.rows - 1)) as f64
+        let n = self.cols;
+        let off_diagonal = self
+            .data
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx / n != idx % n)
+            .map(|(_, &v)| v);
+        compensated_sum(off_diagonal) / (self.rows * (self.rows - 1)) as f64
     }
 
     /// Divides every entry by `s` in place.
@@ -98,49 +125,22 @@ impl DistanceMatrix {
     }
 }
 
-/// Full symmetric N×N matrix of `measure` over `trajs`, computed in
-/// parallel (upper triangle mirrored).
+/// Full symmetric N×N matrix of `measure` over `trajs`: the builder's
+/// balanced dynamic schedule with pruning and caching off.
 pub fn pairwise_matrix(trajs: &[Trajectory], measure: &Measure) -> DistanceMatrix {
-    let n = trajs.len();
-    let threads = default_threads(n);
-    // Each task computes one row's upper-triangle segment.
-    let rows: Vec<Vec<f64>> = parallel_map(n, threads, |i| {
-        let mut row = vec![0.0; n - i];
-        for j in (i + 1)..n {
-            row[j - i] = measure.distance(&trajs[i], &trajs[j]);
-        }
-        row
-    });
-    let mut data = vec![0.0; n * n];
-    for (i, row) in rows.iter().enumerate() {
-        for (off, &d) in row.iter().enumerate() {
-            let j = i + off;
-            data[i * n + j] = d;
-            data[j * n + i] = d;
-        }
-    }
-    DistanceMatrix::from_raw(n, n, data)
+    MatrixBuilder::new(*measure).build_pairwise(trajs).matrix
 }
 
-/// Rectangular |queries| × |base| matrix (e.g. query set against database).
+/// Rectangular |queries| × |base| matrix (e.g. query set against database),
+/// built with the same defaults as [`pairwise_matrix`].
 pub fn cross_matrix(
     queries: &[Trajectory],
     base: &[Trajectory],
     measure: &Measure,
 ) -> DistanceMatrix {
-    let n = queries.len();
-    let m = base.len();
-    let threads = default_threads(n);
-    let rows: Vec<Vec<f64>> = parallel_map(n, threads, |i| {
-        base.iter()
-            .map(|b| measure.distance(&queries[i], b))
-            .collect()
-    });
-    let mut data = Vec::with_capacity(n * m);
-    for row in rows {
-        data.extend_from_slice(&row);
-    }
-    DistanceMatrix::from_raw(n, m, data)
+    MatrixBuilder::new(*measure)
+        .build_cross(queries, base)
+        .matrix
 }
 
 #[cfg(test)]
@@ -223,5 +223,62 @@ mod tests {
         // shuffling the result.
         assert_eq!(m.knn_of_row(0, 4, None), vec![3, 0, 2, 5]);
         assert_eq!(m.knn_of_row(0, 6, Some(3)), vec![0, 2, 5, 1, 4]);
+    }
+
+    /// Mixed-magnitude cancellation on a 1e6-entry matrix: the repeating
+    /// pattern `[1e17, 0.5, -1e17, 0.5]` sums to exactly 1.0 per quad,
+    /// but a naive running sum absorbs each 0.5 into 1e17 (whose ULP is
+    /// 16) and loses half the mass. The compensated sum keeps it.
+    #[test]
+    fn mean_is_compensated_on_large_mixed_matrices() {
+        let n = 1000;
+        let data: Vec<f64> = (0..n * n)
+            .map(|i| match i % 4 {
+                0 => 1e17,
+                2 => -1e17,
+                _ => 0.5,
+            })
+            .collect();
+        let naive: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let m = DistanceMatrix::from_raw(n, n, data);
+        let expected = 0.25; // two 0.5s per four entries
+        assert!(
+            (m.mean() - expected).abs() < 1e-12,
+            "compensated mean drifted: {}",
+            m.mean()
+        );
+        assert!(
+            (naive - expected).abs() > 0.1,
+            "naive sum unexpectedly fine ({naive}); the regression test lost its teeth"
+        );
+    }
+
+    /// 1e6 tiny equal entries: the compensated mean is exact to within a
+    /// few ULP, where a naive sequential sum admits O(n·ε) drift.
+    #[test]
+    fn mean_of_many_tiny_values_is_exact() {
+        let n = 1000;
+        let tiny = 1e-9;
+        let m = DistanceMatrix::from_raw(n, n, vec![tiny; n * n]);
+        assert!((m.mean() - tiny).abs() < tiny * 1e-14);
+        // Square matrix with a zero diagonal: off-diagonal mean rescales
+        // by n·(n-1) without losing the tiny magnitudes either.
+        let mut data = vec![tiny; n * n];
+        for i in 0..n {
+            data[i * n + i] = 0.0;
+        }
+        let m = DistanceMatrix::from_raw(n, n, data);
+        assert!((m.off_diagonal_mean() - tiny).abs() < tiny * 1e-14);
+    }
+
+    #[test]
+    fn off_diagonal_mean_still_skips_diagonal() {
+        // 3×3 with huge diagonal: off-diagonal mean must ignore it.
+        let mut data = vec![2.0; 9];
+        for i in 0..3 {
+            data[i * 3 + i] = 1e12;
+        }
+        let m = DistanceMatrix::from_raw(3, 3, data);
+        assert!((m.off_diagonal_mean() - 2.0).abs() < 1e-12);
     }
 }

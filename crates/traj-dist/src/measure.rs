@@ -79,6 +79,39 @@ impl MeasureKind {
     }
 }
 
+/// Outcome of a threshold-pruned distance evaluation.
+///
+/// Early abandoning is *admissible*: it never misclassifies a pair that
+/// matters below the threshold. Either the computation ran to completion
+/// (`Exact`, bit-identical to the unpruned kernel), or it was abandoned
+/// with a certified lower bound strictly above the threshold
+/// (`LowerBound`) — so every distance ≤ threshold is always exact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrunedDistance {
+    /// The exact distance (the DP completed, or the measure has no
+    /// early-abandon path).
+    Exact(f64),
+    /// Computation abandoned once no alignment could stay under the
+    /// threshold; the true distance is ≥ this bound > threshold.
+    LowerBound(f64),
+}
+
+impl PrunedDistance {
+    /// The carried value (exact distance or admissible lower bound).
+    #[inline]
+    pub fn value(self) -> f64 {
+        match self {
+            PrunedDistance::Exact(d) | PrunedDistance::LowerBound(d) => d,
+        }
+    }
+
+    /// Whether the computation was abandoned early.
+    #[inline]
+    pub fn abandoned(self) -> bool {
+        matches!(self, PrunedDistance::LowerBound(_))
+    }
+}
+
 /// A configured similarity measure.
 #[derive(Debug, Clone, Copy)]
 pub struct Measure {
@@ -115,6 +148,37 @@ impl Measure {
             MeasureKind::Lcss => crate::lcss::lcss_distance(a, b, self.lcss_eps),
             MeasureKind::Tp => crate::st::tp(a, b, self.tp),
             MeasureKind::Dita => crate::st::dita(a, b, self.dita),
+        }
+    }
+
+    /// Whether [`Measure::distance_pruned`] can actually abandon early
+    /// for this measure.
+    ///
+    /// The DP measures with non-negative cell costs (DTW, ERP, EDR) admit
+    /// a row-minimum lower bound: once every cell of a DP row exceeds the
+    /// threshold, no completion can come back under it. The remaining
+    /// measures fall back to the exact kernel.
+    pub fn supports_early_abandon(&self) -> bool {
+        matches!(
+            self.kind,
+            MeasureKind::Dtw | MeasureKind::Erp | MeasureKind::Edr
+        )
+    }
+
+    /// Threshold-pruned distance evaluation (see [`PrunedDistance`] for
+    /// the admissibility contract). Measures without an early-abandon
+    /// path always return [`PrunedDistance::Exact`].
+    pub fn distance_pruned(
+        &self,
+        a: &Trajectory,
+        b: &Trajectory,
+        threshold: f64,
+    ) -> PrunedDistance {
+        match self.kind {
+            MeasureKind::Dtw => crate::dtw::dtw_early_abandon(a, b, threshold),
+            MeasureKind::Erp => crate::erp::erp_early_abandon(a, b, &self.erp_gap, threshold),
+            MeasureKind::Edr => crate::edr::edr_early_abandon(a, b, self.edr_eps, threshold),
+            _ => PrunedDistance::Exact(self.distance(a, b)),
         }
     }
 }

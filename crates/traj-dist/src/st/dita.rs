@@ -56,7 +56,11 @@ pub fn select_pivots(t: &Trajectory, num_pivots: usize) -> Vec<usize> {
     }
     let pts = t.points();
     let mut interior: Vec<(usize, f64)> = (1..n - 1).map(|i| (i, curvature(pts, i))).collect();
-    interior.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    // Descending curvature, index tie-break (`total_cmp`, the workspace
+    // convention): deterministic pivot sets even for tied or non-finite
+    // curvatures, where `partial_cmp(..).unwrap_or(Equal)` produced an
+    // ordering that depended on the incoming element order.
+    interior.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let mut chosen: Vec<usize> = vec![0, n - 1];
     chosen.extend(interior.iter().take(k - 2).map(|&(i, _)| i));
     chosen.sort_unstable();
@@ -140,6 +144,17 @@ mod tests {
             .collect();
         let t = st(&coords);
         assert!(select_pivots(&t, 6).len() <= 6);
+    }
+
+    #[test]
+    fn tied_curvatures_pick_earliest_pivots() {
+        // A zig-zag has identical curvature at every interior point; the
+        // tie-break must deterministically keep the earliest indices.
+        let coords: Vec<(f64, f64, f64)> = (0..9)
+            .map(|i| (i as f64, (i % 2) as f64, i as f64 * 0.1))
+            .collect();
+        let t = st(&coords);
+        assert_eq!(select_pivots(&t, 4), vec![0, 1, 2, 8]);
     }
 
     #[test]
