@@ -30,6 +30,51 @@ fn bench_raw_measures(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar-vs-wavefront at the acceptance point of ROADMAP item 2:
+/// batches of L≈128 pairs (the regime every table bin pays for). Lengths
+/// jitter ±10% so the planner also exercises padding. The per-iteration
+/// time divided by the pair count is the µs/pair figure tracked in
+/// `BENCH_kernels.json` (see the `kernel_bench` bin for the artifact).
+fn bench_batched_kernels(c: &mut Criterion) {
+    let batch = 32usize;
+    let len = 128usize;
+    let trajs: Vec<traj_core::Trajectory> = (0..batch * 2)
+        .map(|i| {
+            let l = len - len / 20 + (i * 7) % (len / 10);
+            let phase = i as f64 * 0.29;
+            let pts: Vec<(f64, f64)> = (0..l)
+                .map(|k| {
+                    let t = k as f64 * 0.04;
+                    (phase + t, (phase + t * 2.3).sin() * 0.3)
+                })
+                .collect();
+            traj_core::Trajectory::from_xy(&pts).unwrap()
+        })
+        .collect();
+    let pairs: Vec<(&traj_core::Trajectory, &traj_core::Trajectory)> =
+        (0..batch).map(|k| (&trajs[k], &trajs[k + batch])).collect();
+    let mut group = c.benchmark_group("dp_kernel_b32_l128");
+    for kind in [MeasureKind::Dtw, MeasureKind::Erp, MeasureKind::Edr] {
+        let m = kind.measure();
+        group.bench_with_input(
+            BenchmarkId::new("scalar", kind.name()),
+            &pairs,
+            |bench, pairs| {
+                bench.iter(|| {
+                    let sum: f64 = pairs.iter().map(|&(a, b)| m.distance(a, b)).sum();
+                    std::hint::black_box(sum)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wavefront", kind.name()),
+            &pairs,
+            |bench, pairs| bench.iter(|| std::hint::black_box(m.distance_batch(pairs))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_embedding_distances(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(3);
     let dim = 16usize;
@@ -58,5 +103,10 @@ fn bench_embedding_distances(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_raw_measures, bench_embedding_distances);
+criterion_group!(
+    benches,
+    bench_raw_measures,
+    bench_batched_kernels,
+    bench_embedding_distances
+);
 criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! Ground-truth matrix construction: legacy row-chunked vs balanced
-//! dynamic scheduling vs cached reload.
+//! dynamic scheduling vs wavefront lockstep batching vs cached reload.
 //!
 //! The workload is deliberately *asymmetric*: trajectory lengths descend
 //! with index, so early rows of the pairwise triangle hold both more
@@ -73,7 +73,11 @@ fn bench_pairwise_build(c: &mut Criterion) {
             report_row_chunk_imbalance(&trajs, threads);
         }
         let measure = MeasureKind::Dtw.measure();
-        for schedule in [Schedule::RowChunked, Schedule::Balanced] {
+        for schedule in [
+            Schedule::RowChunked,
+            Schedule::Balanced,
+            Schedule::Wavefront,
+        ] {
             group.bench_with_input(BenchmarkId::new(schedule.name(), n), &trajs, |b, trajs| {
                 let builder = MatrixBuilder::new(measure).schedule(schedule);
                 b.iter(|| std::hint::black_box(builder.build_pairwise(trajs)))

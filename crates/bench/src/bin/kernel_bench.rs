@@ -1,0 +1,132 @@
+//! Scalar-vs-wavefront DP kernel timing, tracked over time.
+//!
+//! Measures µs/pair for the scalar kernels against the batched wavefront
+//! tier (DTW / ERP / EDR) on deterministic synthetic pairs, verifies the
+//! two paths agree bit for bit on the exact workload being timed, prints
+//! a table, and appends one record to a JSON perf-trajectory artifact
+//! (`BENCH_kernels.json` by default) so kernel regressions show up as a
+//! time series rather than a vibe.
+//!
+//! Usage: `cargo run --release -p lh-bench --bin kernel_bench
+//!        [--l 128] [--pairs 256] [--reps 5] [--out BENCH_kernels.json]
+//!        [--no-append]`
+//!
+//! Timing is best-of-`reps` wall clock over the whole pair set (cold
+//! caches and scheduler noise only ever make a rep slower, so min is the
+//! right estimator for throughput tracking).
+
+use lh_bench::{print_header, Args, Table};
+use std::time::Instant;
+use traj_core::Trajectory;
+use traj_dist::matrix::wavefront::LANES;
+use traj_dist::MeasureKind;
+
+/// Deterministic sine-based pairs at length `l` with ±10% jitter, so the
+/// wavefront planner also pays for padding like it does on real data.
+fn make_pairs(l: usize, n_pairs: usize) -> Vec<(Trajectory, Trajectory)> {
+    let traj = |i: usize| {
+        let len = (l - l / 10 + (i * 13) % (l / 5).max(1)).max(1);
+        let phase = i as f64 * 0.31;
+        let pts: Vec<(f64, f64)> = (0..len)
+            .map(|k| {
+                let t = k as f64 * 0.05;
+                (phase + t, (phase + t * 2.7).sin() * 0.4)
+            })
+            .collect();
+        Trajectory::from_xy(&pts).unwrap()
+    };
+    (0..n_pairs)
+        .map(|i| (traj(2 * i), traj(2 * i + 1)))
+        .collect()
+}
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Splices `record` (a JSON object) into the JSON array at `path`,
+/// creating the file as `[record]` when absent. String-level append: the
+/// artifact stays human-diffable and we avoid needing `Deserialize` for
+/// the history.
+fn append_record(path: &str, record: &str) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim_end();
+    let out = match trimmed.strip_suffix(']') {
+        Some(head) if head.trim_end().ends_with('[') => format!("[\n{record}\n]\n"),
+        Some(head) => format!("{},\n{record}\n]\n", head.trim_end()),
+        None => format!("[\n{record}\n]\n"),
+    };
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+fn main() {
+    let args = Args::parse();
+    let l = args.get("l", 128usize);
+    let n_pairs = args.get("pairs", 256usize);
+    let reps = args.get("reps", 5usize);
+    let out_path = args.get_str("out").unwrap_or("BENCH_kernels.json");
+
+    let owned = make_pairs(l, n_pairs);
+    let pairs: Vec<(&Trajectory, &Trajectory)> = owned.iter().map(|(a, b)| (a, b)).collect();
+
+    print_header(
+        "kernel_bench",
+        &format!("scalar vs wavefront DP kernels, L≈{l}, {n_pairs} pairs, {LANES} lanes"),
+    );
+    let mut table = Table::new(&["measure", "scalar µs/pair", "wavefront µs/pair", "speedup"]);
+    let mut rows_json = Vec::new();
+    for kind in [MeasureKind::Dtw, MeasureKind::Erp, MeasureKind::Edr] {
+        let m = kind.measure();
+        let scalar_vals: Vec<f64> = pairs.iter().map(|&(a, b)| m.distance(a, b)).collect();
+        let batched_vals = m.distance_batch(&pairs);
+        for (k, (s, w)) in scalar_vals.iter().zip(&batched_vals).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                w.to_bits(),
+                "{} pair {k}: batched tier diverged from scalar on the timed workload",
+                kind.name()
+            );
+        }
+        let scalar_s = best_of(reps, || {
+            pairs.iter().map(|&(a, b)| m.distance(a, b)).sum::<f64>()
+        });
+        let batched_s = best_of(reps, || m.distance_batch(&pairs));
+        let per = 1e6 / n_pairs as f64;
+        let (scalar_us, batched_us) = (scalar_s * per, batched_s * per);
+        let speedup = scalar_us / batched_us;
+        table.row(vec![
+            kind.name().to_string(),
+            format!("{scalar_us:.3}"),
+            format!("{batched_us:.3}"),
+            format!("{speedup:.2}x"),
+        ]);
+        rows_json.push(format!(
+            "    {{\"measure\": \"{}\", \"scalar_us_per_pair\": {scalar_us:.4}, \
+             \"wavefront_us_per_pair\": {batched_us:.4}, \"speedup\": {speedup:.3}}}",
+            kind.name()
+        ));
+    }
+    table.print();
+
+    if args.flag("no-append") {
+        return;
+    }
+    let recorded = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let record = format!(
+        "  {{\n    \"schema\": \"kernel-bench-v1\",\n    \"recorded_at_unix\": {recorded},\n    \
+         \"l\": {l},\n    \"pairs\": {n_pairs},\n    \"lanes\": {LANES},\n    \"rows\": [\n{}\n    ]\n  }}",
+        rows_json.join(",\n")
+    );
+    append_record(out_path, &record);
+    println!("\nappended record to {out_path}");
+}

@@ -7,11 +7,15 @@
 //!
 //! Usage: `cargo run --release -p lh-bench --bin table1_constraint_variability
 //!        [--n 120] [--triplets 20000] [--edr-eps 0.02] [--seed 42]
-//!        [--cache-dir target/gt-cache]`
+//!        [--cache-dir target/gt-cache] [--schedule balanced]`
 //!
 //! With `--cache-dir`, each of the 21 ground-truth matrices is
 //! checkpointed; a re-run at the same parameters loads them instead of
 //! recomputing (the final `gt cache hits` line reports how many).
+//! `--schedule` picks the builder work distribution (`serial`,
+//! `row-chunked`, `balanced`, `wavefront`); every schedule produces
+//! bit-identical matrices, so checkpoints written under one schedule are
+//! cache hits under any other.
 
 use lh_bench::printer::{pct, write_artifact};
 use lh_bench::{print_header, Args, Table};
@@ -19,7 +23,7 @@ use lh_data::DatasetPreset;
 use lh_metrics::{ratio_of_violation, sample_triplets};
 use serde::Serialize;
 use traj_core::normalize::Normalizer;
-use traj_dist::{MatrixBuilder, Measure, MeasureKind};
+use traj_dist::{MatrixBuilder, Measure, MeasureKind, Schedule};
 
 #[derive(Serialize)]
 struct Cell {
@@ -67,6 +71,13 @@ fn main() {
     let edr_eps = args.get("edr-eps", 0.02f64);
     let seed = args.get("seed", 42u64);
     let cache_dir = args.get_str("cache-dir").map(str::to_string);
+    let schedule = match args.get_str("schedule") {
+        Some(name) => Schedule::from_name(name).unwrap_or_else(|| {
+            eprintln!("unknown --schedule {name:?} (serial|row-chunked|balanced|wavefront)");
+            std::process::exit(2);
+        }),
+        None => Schedule::default(),
+    };
 
     // One builder per measure config; tracks cache hits across all 21
     // matrix builds for the summary line (and the CI cache smoke test).
@@ -74,7 +85,7 @@ fn main() {
     let mut gt_hits = 0usize;
     let mut gt_seconds = 0.0f64;
     let mut build = |measure: Measure, trajs: &[traj_core::Trajectory]| {
-        let mut b = MatrixBuilder::new(measure);
+        let mut b = MatrixBuilder::new(measure).schedule(schedule);
         if let Some(dir) = &cache_dir {
             b = b.cache_dir(dir);
         }

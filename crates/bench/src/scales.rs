@@ -11,7 +11,7 @@ use lh_core::pipeline::ExperimentSpec;
 use lh_core::{PluginConfig, TrainerConfig};
 use lh_data::DatasetPreset;
 use lh_models::{EncoderConfig, ModelKind};
-use traj_dist::MeasureKind;
+use traj_dist::{MeasureKind, Schedule};
 
 use crate::args::Args;
 
@@ -71,6 +71,17 @@ pub fn default_spec(args: &Args) -> ExperimentSpec {
         seed: args.get("seed", 42u64),
         eval_every_epoch: false,
         gt_cache_dir: args.get_str("cache-dir").map(str::to_string),
+        gt_schedule: args
+            .get_str("schedule")
+            .map(|name| {
+                Schedule::from_name(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown --schedule {name:?} (serial|row-chunked|balanced|wavefront)"
+                    );
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or_default(),
     }
 }
 
@@ -98,6 +109,8 @@ mod tests {
                 "sspd",
                 "--model",
                 "neutraj",
+                "--schedule",
+                "wavefront",
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -108,5 +121,6 @@ mod tests {
         assert_eq!(spec.n_queries, 40);
         assert_eq!(spec.measure, MeasureKind::Sspd);
         assert_eq!(spec.model, ModelKind::Neutraj);
+        assert_eq!(spec.gt_schedule, Schedule::Wavefront);
     }
 }

@@ -10,6 +10,12 @@ use traj_core::Trajectory;
 
 /// Dynamic-time-warping distance between two trajectories with Euclidean
 /// point costs. `O(n·m)` time, `O(min(n,m))` memory.
+///
+/// This is the scalar reference; the wavefront tier
+/// ([`crate::matrix::wavefront`]) evaluates batches of pairs in SIMD
+/// lockstep with bit-identical results (the batched cells replicate this
+/// loop's expressions operand for operand, including the long/short
+/// operand swap below).
 pub fn dtw(a: &Trajectory, b: &Trajectory) -> f64 {
     // Keep the shorter trajectory on the inner (column) axis.
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };

@@ -16,6 +16,10 @@ fn matches(p: &Point, q: &Point, eps: f64) -> bool {
 }
 
 /// EDR distance with tolerance `eps`, returned as `f64` (edit count).
+///
+/// Scalar reference for the wavefront tier ([`crate::matrix::wavefront`]);
+/// the batched lanes run the same recurrence in f64 (exact for any real
+/// edit count) and agree with this kernel bit for bit.
 pub fn edr(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
     let ap = a.points();
     let bp = b.points();

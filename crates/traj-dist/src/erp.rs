@@ -9,6 +9,10 @@ use crate::measure::PrunedDistance;
 use traj_core::{Point, Trajectory};
 
 /// ERP distance with gap-reference point `g`.
+///
+/// Scalar reference for the wavefront tier ([`crate::matrix::wavefront`]),
+/// which replicates this recurrence — including the sequential prefix-sum
+/// boundary rows — bit for bit across batched lanes.
 pub fn erp(a: &Trajectory, b: &Trajectory, g: &Point) -> f64 {
     let ap = a.points();
     let bp = b.points();

@@ -10,7 +10,10 @@
 //! pairwise matrices in parallel through the [`MatrixBuilder`] pipeline:
 //! dynamically scheduled pair batches (balanced across the triangular
 //! workload), opt-in admissible early-abandon pruning for the DP
-//! measures, and persistent fingerprint-keyed checkpoints.
+//! measures, persistent fingerprint-keyed checkpoints, and a
+//! wavefront-batched execution tier ([`matrix::wavefront`]) that runs
+//! length-bucketed DTW/ERP/EDR pairs in SIMD lockstep along DP
+//! anti-diagonals — bit-identical to the scalar kernels.
 
 pub mod dtw;
 pub mod edr;
@@ -30,8 +33,8 @@ pub use frechet::discrete_frechet;
 pub use hausdorff::hausdorff;
 pub use lcss::lcss_distance;
 pub use matrix::{
-    cross_matrix, pairwise_matrix, BuildReport, CacheError, CacheOutcome, DistanceMatrix,
-    MatrixBuild, MatrixBuilder, Schedule,
+    batch_distances, cross_matrix, pairwise_matrix, BatchPlan, BuildReport, CacheError,
+    CacheOutcome, DistanceMatrix, MatrixBuild, MatrixBuilder, Schedule,
 };
 pub use measure::{Measure, MeasureKind, PrunedDistance};
 pub use sspd::sspd;

@@ -27,12 +27,15 @@
 //!   [`CacheOutcome::Hit`].
 
 use super::cache;
+use super::wavefront;
 use super::DistanceMatrix;
 use crate::measure::Measure;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use traj_core::parallel::{default_threads, parallel_for_chunks, parallel_map, DisjointSlice};
+use traj_core::parallel::{
+    default_threads, parallel_for, parallel_for_chunks, parallel_map, DisjointSlice,
+};
 use traj_core::Trajectory;
 
 /// How pair work is distributed across threads.
@@ -48,6 +51,14 @@ pub enum Schedule {
     /// written directly into the output buffer.
     #[default]
     Balanced,
+    /// Wavefront-batched lockstep execution ([`super::wavefront`]):
+    /// pairs are bucketed by length and evaluated [`wavefront::LANES`]
+    /// at a time along DP anti-diagonals (bit-identical to the scalar
+    /// kernels); stragglers run through the scalar path. Falls back to
+    /// `Balanced` when the measure has no batched kernel or pruning is
+    /// enabled (the batched tier always computes exact entries, so it
+    /// cannot honor an early-abandon threshold).
+    Wavefront,
 }
 
 impl Schedule {
@@ -57,6 +68,18 @@ impl Schedule {
             Schedule::Serial => "serial",
             Schedule::RowChunked => "row-chunked",
             Schedule::Balanced => "balanced",
+            Schedule::Wavefront => "wavefront",
+        }
+    }
+
+    /// Parses a display name back into a schedule (CLI flags).
+    pub fn from_name(name: &str) -> Option<Schedule> {
+        match name {
+            "serial" => Some(Schedule::Serial),
+            "row-chunked" => Some(Schedule::RowChunked),
+            "balanced" => Some(Schedule::Balanced),
+            "wavefront" => Some(Schedule::Wavefront),
+            _ => None,
         }
     }
 }
@@ -193,6 +216,22 @@ impl MatrixBuilder {
         }
     }
 
+    /// The schedule actually executed: `Wavefront` demotes itself to
+    /// `Balanced` when the measure has no batched kernel or a pruning
+    /// threshold is set (the batched tier always computes exact entries,
+    /// so it cannot honor an early-abandon threshold). Fingerprints never
+    /// include the schedule, so the demotion is invisible to the cache.
+    fn effective_schedule(&self) -> Schedule {
+        match self.schedule {
+            Schedule::Wavefront
+                if !self.measure.supports_batch() || self.prune_threshold.is_some() =>
+            {
+                Schedule::Balanced
+            }
+            s => s,
+        }
+    }
+
     /// Serves a build from cache if a valid checkpoint with the expected
     /// shape exists.
     fn try_cache_load(&self, fingerprint: u64, rows: usize, cols: usize) -> Option<DistanceMatrix> {
@@ -237,7 +276,7 @@ impl MatrixBuilder {
         let total_pairs = n * n.saturating_sub(1) / 2;
         let pruned = AtomicUsize::new(0);
         let mut data = vec![0.0; n * n];
-        match self.schedule {
+        match self.effective_schedule() {
             Schedule::Serial => {
                 for i in 0..n {
                     for j in (i + 1)..n {
@@ -306,6 +345,72 @@ impl MatrixBuilder {
                     }
                 });
             }
+            Schedule::Wavefront => {
+                // Materialize the upper-triangle pair list, bucket it by
+                // length, and hand one lockstep group per work item to the
+                // wavefront kernels; leftovers reuse the scalar path.
+                let pairs: Vec<(u32, u32)> = (0..n)
+                    .flat_map(|i| ((i + 1)..n).map(move |j| (i as u32, j as u32)))
+                    .collect();
+                let lens: Vec<(usize, usize)> = pairs
+                    .iter()
+                    .map(|&(i, j)| {
+                        wavefront::pair_len_key(
+                            &self.measure,
+                            &trajs[i as usize],
+                            &trajs[j as usize],
+                        )
+                    })
+                    .collect();
+                let plan = wavefront::plan_batches(&lens);
+                let view = DisjointSlice::new(&mut data);
+                let threads = self
+                    .threads
+                    .unwrap_or_else(|| default_threads(plan.groups.len()));
+                parallel_for(plan.groups.len(), threads, |g| {
+                    let idxs = plan.group(g);
+                    let group_pairs: Vec<(&Trajectory, &Trajectory)> = idxs
+                        .iter()
+                        .map(|&p| {
+                            let (i, j) = pairs[p];
+                            (&trajs[i as usize], &trajs[j as usize])
+                        })
+                        .collect();
+                    let vals = wavefront::eval_batch(&self.measure, &group_pairs);
+                    for (k, &p) in idxs.iter().enumerate() {
+                        let (i, j) = pairs[p];
+                        let (i, j) = (i as usize, j as usize);
+                        // SAFETY: each pair index is claimed by exactly
+                        // one group, and cells (i,j)/(j,i) belong to that
+                        // pair alone; the diagonal is untouched.
+                        unsafe {
+                            view.write(i * n + j, vals[k]);
+                            view.write(j * n + i, vals[k]);
+                        }
+                    }
+                });
+                let straggler_threads = self
+                    .threads
+                    .unwrap_or_else(|| default_threads(plan.stragglers.len()));
+                parallel_for_chunks(
+                    plan.stragglers.len(),
+                    straggler_threads,
+                    self.pair_batch,
+                    |range| {
+                        for s in range {
+                            let (i, j) = pairs[plan.stragglers[s]];
+                            let (i, j) = (i as usize, j as usize);
+                            let (d, _) = self.eval(&trajs[i], &trajs[j]);
+                            // SAFETY: straggler pairs are disjoint from
+                            // every group and from each other.
+                            unsafe {
+                                view.write(i * n + j, d);
+                                view.write(j * n + i, d);
+                            }
+                        }
+                    },
+                );
+            }
         }
         let matrix = DistanceMatrix::from_raw(n, n, data);
         self.try_cache_store(fingerprint, &matrix);
@@ -344,7 +449,7 @@ impl MatrixBuilder {
         let total_cells = n * m;
         let pruned = AtomicUsize::new(0);
         let mut data;
-        match self.schedule {
+        match self.effective_schedule() {
             Schedule::Serial => {
                 data = Vec::with_capacity(total_cells);
                 for q in queries {
@@ -397,6 +502,51 @@ impl MatrixBuilder {
                         pruned.fetch_add(batch_pruned, Ordering::Relaxed);
                     }
                 });
+            }
+            Schedule::Wavefront => {
+                // Flat cell indices double as pair indices here, so the
+                // plan's groups/stragglers address the output directly.
+                data = vec![0.0; total_cells];
+                let lens: Vec<(usize, usize)> = (0..total_cells)
+                    .map(|cell| {
+                        wavefront::pair_len_key(&self.measure, &queries[cell / m], &base[cell % m])
+                    })
+                    .collect();
+                let plan = wavefront::plan_batches(&lens);
+                let view = DisjointSlice::new(&mut data);
+                let threads = self
+                    .threads
+                    .unwrap_or_else(|| default_threads(plan.groups.len()));
+                parallel_for(plan.groups.len(), threads, |g| {
+                    let idxs = plan.group(g);
+                    let group_pairs: Vec<(&Trajectory, &Trajectory)> = idxs
+                        .iter()
+                        .map(|&cell| (&queries[cell / m], &base[cell % m]))
+                        .collect();
+                    let vals = wavefront::eval_batch(&self.measure, &group_pairs);
+                    for (k, &cell) in idxs.iter().enumerate() {
+                        // SAFETY: each flat cell index is claimed by
+                        // exactly one group.
+                        unsafe { view.write(cell, vals[k]) };
+                    }
+                });
+                let straggler_threads = self
+                    .threads
+                    .unwrap_or_else(|| default_threads(plan.stragglers.len()));
+                parallel_for_chunks(
+                    plan.stragglers.len(),
+                    straggler_threads,
+                    self.pair_batch,
+                    |range| {
+                        for s in range {
+                            let cell = plan.stragglers[s];
+                            let (d, _) = self.eval(&queries[cell / m], &base[cell % m]);
+                            // SAFETY: stragglers are disjoint from every
+                            // group and from each other.
+                            unsafe { view.write(cell, d) };
+                        }
+                    },
+                );
             }
         }
         let matrix = DistanceMatrix::from_raw(n, m, data);
@@ -600,7 +750,11 @@ mod tests {
         let serial = MatrixBuilder::new(measure)
             .schedule(Schedule::Serial)
             .build_pairwise(&ts);
-        for schedule in [Schedule::RowChunked, Schedule::Balanced] {
+        for schedule in [
+            Schedule::RowChunked,
+            Schedule::Balanced,
+            Schedule::Wavefront,
+        ] {
             for threads in [1, 3, 8] {
                 let par = MatrixBuilder::new(measure)
                     .schedule(schedule)
@@ -626,7 +780,11 @@ mod tests {
         let serial = MatrixBuilder::new(measure)
             .schedule(Schedule::Serial)
             .build_cross(&ts[..4], &ts);
-        for schedule in [Schedule::RowChunked, Schedule::Balanced] {
+        for schedule in [
+            Schedule::RowChunked,
+            Schedule::Balanced,
+            Schedule::Wavefront,
+        ] {
             let par = MatrixBuilder::new(measure)
                 .schedule(schedule)
                 .threads(4)
@@ -675,6 +833,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn wavefront_cross_bit_identical_for_batched_measures() {
+        // The Sspd cross test above exercises the unsupported-measure
+        // fallback; this one drives the real batched cross path.
+        let ts = skewed_trajs(14);
+        for kind in [MeasureKind::Dtw, MeasureKind::Erp, MeasureKind::Edr] {
+            let measure = kind.measure();
+            let serial = MatrixBuilder::new(measure)
+                .schedule(Schedule::Serial)
+                .build_cross(&ts[..5], &ts);
+            let wf = MatrixBuilder::new(measure)
+                .schedule(Schedule::Wavefront)
+                .threads(3)
+                .build_cross(&ts[..5], &ts);
+            assert_eq!(bits(&serial.matrix), bits(&wf.matrix), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn wavefront_with_pruning_demotes_to_balanced() {
+        let ts = skewed_trajs(12);
+        let measure = MeasureKind::Dtw.measure();
+        let threshold = MatrixBuilder::new(measure)
+            .build_pairwise(&ts)
+            .matrix
+            .off_diagonal_mean();
+        let balanced = MatrixBuilder::new(measure)
+            .prune(threshold)
+            .build_pairwise(&ts);
+        let wavefront = MatrixBuilder::new(measure)
+            .schedule(Schedule::Wavefront)
+            .prune(threshold)
+            .build_pairwise(&ts);
+        // Demotion means the pruned builds agree bit for bit and the
+        // wavefront-requested build still reports its pruning work.
+        assert_eq!(bits(&balanced.matrix), bits(&wavefront.matrix));
+        assert_eq!(balanced.report.pairs_pruned, wavefront.report.pairs_pruned);
+    }
+
+    #[test]
+    fn wavefront_and_scalar_builds_share_cache_fingerprints() {
+        // The fingerprint excludes the schedule *because* the wavefront
+        // tier is bit-identical: a wavefront-built checkpoint must serve
+        // scalar builds and vice versa.
+        let dir = std::env::temp_dir().join(format!("lhgm-wavefront-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ts = skewed_trajs(10);
+        let measure = MeasureKind::Dtw.measure();
+        let cold = MatrixBuilder::new(measure)
+            .schedule(Schedule::Wavefront)
+            .cache_dir(&dir)
+            .build_pairwise(&ts);
+        assert_eq!(cold.report.cache, CacheOutcome::Miss);
+        let warm = MatrixBuilder::new(measure)
+            .schedule(Schedule::Balanced)
+            .cache_dir(&dir)
+            .build_pairwise(&ts);
+        assert_eq!(warm.report.cache, CacheOutcome::Hit);
+        assert_eq!(bits(&cold.matrix), bits(&warm.matrix));
+        let warm_serial = MatrixBuilder::new(measure)
+            .schedule(Schedule::Serial)
+            .cache_dir(&dir)
+            .build_pairwise(&ts);
+        assert_eq!(warm_serial.report.cache, CacheOutcome::Hit);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

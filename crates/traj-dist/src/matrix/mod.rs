@@ -6,13 +6,18 @@
 //! optionally pruned and cached [`MatrixBuilder`] pipeline — while this
 //! module keeps the dense [`DistanceMatrix`] container and the historical
 //! one-call entry points ([`pairwise_matrix`], [`cross_matrix`]), which are
-//! now thin wrappers over the builder's defaults.
+//! now thin wrappers over the builder's defaults. The [`wavefront`]
+//! submodule adds the batched execution tier: length-bucketed pairs run
+//! [`wavefront::LANES`] at a time along DP anti-diagonals, bit-identical
+//! to the scalar kernels.
 
 pub mod builder;
 pub mod cache;
+pub mod wavefront;
 
 pub use builder::{BuildReport, CacheOutcome, MatrixBuild, MatrixBuilder, Schedule};
 pub use cache::CacheError;
+pub use wavefront::{batch_distances, plan_batches, BatchPlan};
 
 use crate::measure::Measure;
 use serde::{Deserialize, Serialize};

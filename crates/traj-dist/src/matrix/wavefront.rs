@@ -1,0 +1,687 @@
+//! Wavefront-batched DP kernels: B pairs evaluated in lockstep.
+//!
+//! The scalar DP kernels ([`crate::dtw::dtw`], [`crate::erp::erp`],
+//! [`crate::edr::edr`])
+//! walk the recurrence row by row, so each cell's `min` chain is a serial
+//! dependency and the compiler cannot vectorize across cells. This module
+//! ports the anti-diagonal *wavefront* shape of GPU trajectory kernels to
+//! CPU SIMD: all cells on the anti-diagonal `i + j = it` of a DP table
+//! depend only on diagonals `it−1` and `it−2`, so a *batch* of B pairs can
+//! advance one diagonal per step with the B lanes laid out innermost —
+//! a branch-light loop over independent f64 lanes that LLVM turns into
+//! packed `vminpd`/`vsqrtpd` under the AVX2 path selected at runtime.
+//!
+//! Memory is a flat 3-diagonal rolling buffer of width `(M_max+1)·B`
+//! (three [`Vec<f64>`]s rotated by swap), matching the scalar kernels'
+//! O(min(n,m)) discipline per lane.
+//!
+//! ## Numerical contract
+//!
+//! The batched path is **bit-identical** to the scalar kernels, not merely
+//! close. Each lane replicates the scalar cell expression exactly:
+//!
+//! * the same operands in the same order (`cost + diag.min(up).min(left)`
+//!   for DTW, the `match/del_a/del_b` min chain for ERP, the integer
+//!   recurrence for EDR, which is exact in f64 for any real edit count);
+//! * `f64::min` is exact and, absent NaN, order-independent;
+//!   `+`/`−`/`*`/`sqrt` are correctly rounded and never reassociated
+//!   across lanes (there is no horizontal reduction);
+//! * DTW's long/short operand swap is applied per lane before batching,
+//!   so even the operand *orientation* matches the scalar kernel;
+//! * padding lanes to the bucket's (N_max, M_max) only writes cells with
+//!   `i > n_l` or `j > m_l`, which no real cell ever reads (dependencies
+//!   flow from strictly smaller indices), and each lane's result is
+//!   captured from its own final diagonal `n_l + m_l`.
+//!
+//! Trajectory coordinates are validated finite at construction
+//! ([`traj_core::Trajectory::new`] rejects NaN/∞), so the NaN caveat on
+//! `f64::min` cannot trigger. The differential suite in
+//! `tests/wavefront_differential.rs` asserts bit equality; should a future
+//! SIMD backend (e.g. FMA contraction) break exact replication, the
+//! documented fallback contract is a relative error ≤ 1e-12 per entry —
+//! tested independently so the tolerance stays honest. Because results are
+//! bit-identical, [`super::builder::MatrixBuilder`] cache fingerprints
+//! deliberately exclude the schedule: a matrix built by the wavefront tier
+//! is byte-interchangeable with a scalar-built one.
+
+use crate::measure::{Measure, MeasureKind};
+use traj_core::Trajectory;
+
+/// Target lanes per lockstep group: 8 f64 lanes = two AVX2 vectors (or one
+/// AVX-512 vector) per DP cell step, enough to hide the `vsqrtpd` latency
+/// without blowing the diagonal working set out of L1.
+pub const LANES: usize = 8;
+
+/// Groups smaller than this fall back to the scalar kernel — a lockstep
+/// "batch" of one pays the transpose and padding for no lane parallelism.
+const MIN_GROUP: usize = 2;
+
+/// Minimum fraction of real (unpadded) DP area per group. Length-sorted
+/// buckets are near-uniform, but a group straddling two length regimes
+/// would burn most of its lanes on padding; such groups run scalar.
+const MIN_FILL: f64 = 0.5;
+
+/// A partition of pair indices into lockstep groups plus scalar
+/// stragglers. Produced by [`plan_batches`]; every input index appears
+/// exactly once in either `batched` or `stragglers`.
+#[derive(Debug, Clone)]
+pub struct BatchPlan {
+    /// Pair indices reordered so each group occupies a contiguous range.
+    pub batched: Vec<usize>,
+    /// `(start, len)` ranges into `batched`, one per lockstep group;
+    /// `len` is between the minimum group size (2) and [`LANES`].
+    pub groups: Vec<(usize, usize)>,
+    /// Pair indices that run through the scalar kernels instead.
+    pub stragglers: Vec<usize>,
+}
+
+impl BatchPlan {
+    /// Pair indices of group `g` (a slice into `batched`).
+    #[inline]
+    pub fn group(&self, g: usize) -> &[usize] {
+        let (start, len) = self.groups[g];
+        &self.batched[start..start + len]
+    }
+}
+
+/// The bucketing key for a pair: DTW swaps operands so the shorter
+/// trajectory is the inner axis, so its buckets are keyed on the swapped
+/// shape; everything else buckets on the raw shape.
+#[inline]
+pub fn pair_len_key(measure: &Measure, a: &Trajectory, b: &Trajectory) -> (usize, usize) {
+    match measure.kind {
+        MeasureKind::Dtw => (a.len().max(b.len()), a.len().min(b.len())),
+        _ => (a.len(), b.len()),
+    }
+}
+
+/// Buckets pairs by length for lockstep execution: sort indices by their
+/// `(rows, cols)` key, chunk into [`LANES`]-sized groups, and demote
+/// groups that are too small (`MIN_GROUP`) or too ragged (`MIN_FILL`)
+/// to the scalar straggler list. Deterministic: stable sort, input order
+/// breaks ties.
+pub fn plan_batches(lens: &[(usize, usize)]) -> BatchPlan {
+    let mut order: Vec<usize> = (0..lens.len()).collect();
+    order.sort_by_key(|&p| lens[p]);
+
+    let mut batched = Vec::new();
+    let mut groups = Vec::new();
+    let mut stragglers = Vec::new();
+    for chunk in order.chunks(LANES) {
+        if chunk.len() < MIN_GROUP {
+            stragglers.extend_from_slice(chunk);
+            continue;
+        }
+        let n_max = chunk.iter().map(|&p| lens[p].0).max().unwrap_or(1);
+        let m_max = chunk.iter().map(|&p| lens[p].1).max().unwrap_or(1);
+        let real: usize = chunk.iter().map(|&p| lens[p].0 * lens[p].1).sum();
+        let fill = real as f64 / (chunk.len() * n_max * m_max) as f64;
+        if fill < MIN_FILL {
+            stragglers.extend_from_slice(chunk);
+        } else {
+            groups.push((batched.len(), chunk.len()));
+            batched.extend_from_slice(chunk);
+        }
+    }
+    BatchPlan {
+        batched,
+        groups,
+        stragglers,
+    }
+}
+
+/// SoA-transposed, padded inputs for one lockstep group.
+///
+/// Coordinates live at `row * lanes + lane` so the innermost loop strides
+/// by one lane. Short lanes are padded by repeating their last point:
+/// padded cells never feed a real cell (see the module contract), and the
+/// repeats keep every arithmetic result finite.
+struct BatchCtx {
+    lanes: usize,
+    n_max: usize,
+    m_max: usize,
+    ax: Vec<f64>,
+    ay: Vec<f64>,
+    bx: Vec<f64>,
+    by: Vec<f64>,
+    /// ERP gap costs `d(a_i, g)` / `d(b_j, g)` per lane (zeros for
+    /// measures that don't read them — never loaded by their kernels).
+    ga: Vec<f64>,
+    gb: Vec<f64>,
+    /// Column-0 boundary `dp[i][0]` per lane, `(n_max+1)·lanes`.
+    col0: Vec<f64>,
+    /// Row-0 boundary `dp[0][j]` per lane, `(m_max+1)·lanes`.
+    row0: Vec<f64>,
+    /// Per-lane final diagonal `n_l + m_l`.
+    fin: Vec<usize>,
+    /// Per-lane result column `m_l`.
+    mcol: Vec<usize>,
+}
+
+fn build_ctx(measure: &Measure, pairs: &[(&Trajectory, &Trajectory)]) -> BatchCtx {
+    let lanes = pairs.len();
+    // DTW keeps the shorter trajectory on the inner axis, exactly like the
+    // scalar kernel, so batched operand orientation matches bit for bit.
+    let oriented: Vec<(&Trajectory, &Trajectory)> = pairs
+        .iter()
+        .map(|&(a, b)| match measure.kind {
+            MeasureKind::Dtw if b.len() > a.len() => (b, a),
+            _ => (a, b),
+        })
+        .collect();
+    let n_max = oriented.iter().map(|(a, _)| a.len()).max().unwrap_or(1);
+    let m_max = oriented.iter().map(|(_, b)| b.len()).max().unwrap_or(1);
+
+    let mut ax = vec![0.0; n_max * lanes];
+    let mut ay = vec![0.0; n_max * lanes];
+    let mut bx = vec![0.0; m_max * lanes];
+    let mut by = vec![0.0; m_max * lanes];
+    let mut ga = vec![0.0; n_max * lanes];
+    let mut gb = vec![0.0; m_max * lanes];
+    let mut col0 = vec![0.0; (n_max + 1) * lanes];
+    let mut row0 = vec![0.0; (m_max + 1) * lanes];
+    let mut fin = vec![0usize; lanes];
+    let mut mcol = vec![0usize; lanes];
+
+    let erp = measure.kind == MeasureKind::Erp;
+    for (l, &(a, b)) in oriented.iter().enumerate() {
+        let (ap, bp) = (a.points(), b.points());
+        for i in 0..n_max {
+            let p = &ap[i.min(ap.len() - 1)];
+            ax[i * lanes + l] = p.x;
+            ay[i * lanes + l] = p.y;
+            if erp {
+                ga[i * lanes + l] = p.dist(&measure.erp_gap);
+            }
+        }
+        for j in 0..m_max {
+            let q = &bp[j.min(bp.len() - 1)];
+            bx[j * lanes + l] = q.x;
+            by[j * lanes + l] = q.y;
+            if erp {
+                gb[j * lanes + l] = q.dist(&measure.erp_gap);
+            }
+        }
+        fin[l] = ap.len() + bp.len();
+        mcol[l] = bp.len();
+    }
+
+    match measure.kind {
+        MeasureKind::Dtw => {
+            // dp[0][0] = 0, every other boundary cell is +∞.
+            col0[lanes..].fill(f64::INFINITY);
+            row0[lanes..].fill(f64::INFINITY);
+        }
+        MeasureKind::Erp => {
+            // Sequential per-lane prefix sums of gap costs, replicating
+            // the scalar accumulation order exactly (padded tail entries
+            // keep accumulating harmlessly — no real cell reads them).
+            for i in 1..=n_max {
+                for l in 0..lanes {
+                    col0[i * lanes + l] = col0[(i - 1) * lanes + l] + ga[(i - 1) * lanes + l];
+                }
+            }
+            for j in 1..=m_max {
+                for l in 0..lanes {
+                    row0[j * lanes + l] = row0[(j - 1) * lanes + l] + gb[(j - 1) * lanes + l];
+                }
+            }
+        }
+        MeasureKind::Edr => {
+            // dp[i][0] = i, dp[0][j] = j (delete everything).
+            for i in 1..=n_max {
+                col0[i * lanes..(i + 1) * lanes].fill(i as f64);
+            }
+            for j in 1..=m_max {
+                row0[j * lanes..(j + 1) * lanes].fill(j as f64);
+            }
+        }
+        _ => unreachable!("eval_batch gates on supports_batch()"),
+    }
+
+    BatchCtx {
+        lanes,
+        n_max,
+        m_max,
+        ax,
+        ay,
+        bx,
+        by,
+        ga,
+        gb,
+        col0,
+        row0,
+        fin,
+        mcol,
+    }
+}
+
+/// One interior anti-diagonal position for all lanes: computes `cur[l]`
+/// from the three DP neighbors and the lane's point data. All slices have
+/// exactly `lanes` elements; implementations must replicate the scalar
+/// kernel's cell expression operand for operand (see the module contract).
+trait DiagKernel {
+    #[allow(clippy::too_many_arguments)]
+    fn lane_cells(
+        cur: &mut [f64],
+        diag: &[f64],
+        up: &[f64],
+        left: &[f64],
+        ax: &[f64],
+        ay: &[f64],
+        bx: &[f64],
+        by: &[f64],
+        ga: &[f64],
+        gb: &[f64],
+        eps: f64,
+    );
+}
+
+struct DtwKernel;
+
+impl DiagKernel for DtwKernel {
+    #[inline(always)]
+    fn lane_cells(
+        cur: &mut [f64],
+        diag: &[f64],
+        up: &[f64],
+        left: &[f64],
+        ax: &[f64],
+        ay: &[f64],
+        bx: &[f64],
+        by: &[f64],
+        _ga: &[f64],
+        _gb: &[f64],
+        _eps: f64,
+    ) {
+        let n = cur.len();
+        let (diag, up, left) = (&diag[..n], &up[..n], &left[..n]);
+        let (ax, ay, bx, by) = (&ax[..n], &ay[..n], &bx[..n], &by[..n]);
+        for l in 0..n {
+            let dx = ax[l] - bx[l];
+            let dy = ay[l] - by[l];
+            let cost = (dx * dx + dy * dy).sqrt();
+            cur[l] = cost + diag[l].min(up[l]).min(left[l]);
+        }
+    }
+}
+
+struct ErpKernel;
+
+impl DiagKernel for ErpKernel {
+    #[inline(always)]
+    fn lane_cells(
+        cur: &mut [f64],
+        diag: &[f64],
+        up: &[f64],
+        left: &[f64],
+        ax: &[f64],
+        ay: &[f64],
+        bx: &[f64],
+        by: &[f64],
+        ga: &[f64],
+        gb: &[f64],
+        _eps: f64,
+    ) {
+        let n = cur.len();
+        let (diag, up, left) = (&diag[..n], &up[..n], &left[..n]);
+        let (ax, ay, bx, by) = (&ax[..n], &ay[..n], &bx[..n], &by[..n]);
+        let (ga, gb) = (&ga[..n], &gb[..n]);
+        for l in 0..n {
+            let dx = ax[l] - bx[l];
+            let dy = ay[l] - by[l];
+            let match_cost = diag[l] + (dx * dx + dy * dy).sqrt();
+            let del_a = up[l] + ga[l];
+            let del_b = left[l] + gb[l];
+            cur[l] = match_cost.min(del_a).min(del_b);
+        }
+    }
+}
+
+struct EdrKernel;
+
+impl DiagKernel for EdrKernel {
+    #[inline(always)]
+    fn lane_cells(
+        cur: &mut [f64],
+        diag: &[f64],
+        up: &[f64],
+        left: &[f64],
+        ax: &[f64],
+        ay: &[f64],
+        bx: &[f64],
+        by: &[f64],
+        _ga: &[f64],
+        _gb: &[f64],
+        eps: f64,
+    ) {
+        let n = cur.len();
+        let (diag, up, left) = (&diag[..n], &up[..n], &left[..n]);
+        let (ax, ay, bx, by) = (&ax[..n], &ay[..n], &bx[..n], &by[..n]);
+        for l in 0..n {
+            // L∞ match test, branchless; edit counts are small integers,
+            // exact in f64, so the scalar u32 recurrence is replicated
+            // value for value.
+            let miss = ((ax[l] - bx[l]).abs() > eps) | ((ay[l] - by[l]).abs() > eps);
+            let sub = miss as u8 as f64;
+            cur[l] = (diag[l] + sub).min(up[l] + 1.0).min(left[l] + 1.0);
+        }
+    }
+}
+
+/// The wavefront driver: iterates anti-diagonals `it = 1..=n_max+m_max`
+/// over a rotating 3-diagonal buffer, writing boundary cells from the
+/// precomputed `col0`/`row0` arrays and capturing each lane's result from
+/// its own final diagonal. `#[inline(always)]` so the `target_feature`
+/// wrappers below compile the whole loop nest — not just a call — under
+/// the widened ISA.
+#[inline(always)]
+fn run_diagonals<K: DiagKernel>(ctx: &BatchCtx, eps: f64, out: &mut [f64]) {
+    let lanes = ctx.lanes;
+    let width = (ctx.m_max + 1) * lanes;
+    // prev2/prev/cur hold diagonals it−2 / it−1 / it; position p on a
+    // diagonal holds cell (it−p, p) for all lanes.
+    let mut prev2 = vec![0.0f64; width];
+    let mut prev = vec![0.0f64; width];
+    let mut cur = vec![0.0f64; width];
+    // Diagonal 0 is the single cell (0,0) = dp origin (0 for all kernels).
+    prev[..lanes].copy_from_slice(&ctx.col0[..lanes]);
+
+    for it in 1..=(ctx.n_max + ctx.m_max) {
+        if it <= ctx.n_max {
+            cur[..lanes].copy_from_slice(&ctx.col0[it * lanes..(it + 1) * lanes]);
+        }
+        if it <= ctx.m_max {
+            cur[it * lanes..(it + 1) * lanes]
+                .copy_from_slice(&ctx.row0[it * lanes..(it + 1) * lanes]);
+        }
+        let j_lo = it.saturating_sub(ctx.n_max).max(1);
+        let j_hi = (it - 1).min(ctx.m_max);
+        for j in j_lo..=j_hi {
+            let i = it - j;
+            K::lane_cells(
+                &mut cur[j * lanes..(j + 1) * lanes],
+                &prev2[(j - 1) * lanes..j * lanes],
+                &prev[j * lanes..(j + 1) * lanes],
+                &prev[(j - 1) * lanes..j * lanes],
+                &ctx.ax[(i - 1) * lanes..i * lanes],
+                &ctx.ay[(i - 1) * lanes..i * lanes],
+                &ctx.bx[(j - 1) * lanes..j * lanes],
+                &ctx.by[(j - 1) * lanes..j * lanes],
+                &ctx.ga[(i - 1) * lanes..i * lanes],
+                &ctx.gb[(j - 1) * lanes..j * lanes],
+                eps,
+            );
+        }
+        for l in 0..lanes {
+            if ctx.fin[l] == it {
+                out[l] = cur[ctx.mcol[l] * lanes + l];
+            }
+        }
+        // Rotate (prev2, prev, cur) ← (prev, cur, scratch).
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+}
+
+/// AVX2-compiled instantiations of the driver, selected at runtime. The
+/// portable `run_diagonals` is the fallback and the semantics reference;
+/// these merely recompile the identical IEEE expressions with packed
+/// instructions (no FMA contraction — Rust never fuses, so results stay
+/// bit-identical across paths).
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::*;
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dtw(ctx: &BatchCtx, out: &mut [f64]) {
+        run_diagonals::<DtwKernel>(ctx, 0.0, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn erp(ctx: &BatchCtx, out: &mut [f64]) {
+        run_diagonals::<ErpKernel>(ctx, 0.0, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn edr(ctx: &BatchCtx, eps: f64, out: &mut [f64]) {
+        run_diagonals::<EdrKernel>(ctx, eps, out);
+    }
+}
+
+fn dispatch(measure: &Measure, ctx: &BatchCtx, out: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified at runtime.
+        unsafe {
+            match measure.kind {
+                MeasureKind::Dtw => avx2::dtw(ctx, out),
+                MeasureKind::Erp => avx2::erp(ctx, out),
+                MeasureKind::Edr => avx2::edr(ctx, measure.edr_eps, out),
+                _ => unreachable!("eval_batch gates on supports_batch()"),
+            }
+        }
+        return;
+    }
+    match measure.kind {
+        MeasureKind::Dtw => run_diagonals::<DtwKernel>(ctx, 0.0, out),
+        MeasureKind::Erp => run_diagonals::<ErpKernel>(ctx, 0.0, out),
+        MeasureKind::Edr => run_diagonals::<EdrKernel>(ctx, measure.edr_eps, out),
+        _ => unreachable!("eval_batch gates on supports_batch()"),
+    }
+}
+
+/// Evaluates one lockstep group of pairs (any runtime batch size ≥ 1,
+/// ragged lengths allowed) and returns the distances in input order.
+/// Measures without a batched kernel fall back to per-pair scalar calls.
+pub fn eval_batch(measure: &Measure, pairs: &[(&Trajectory, &Trajectory)]) -> Vec<f64> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    if !measure.supports_batch() {
+        return pairs.iter().map(|&(a, b)| measure.distance(a, b)).collect();
+    }
+    let ctx = build_ctx(measure, pairs);
+    let mut out = vec![0.0; pairs.len()];
+    dispatch(measure, &ctx, &mut out);
+    out
+}
+
+/// Convenience entry point: plans buckets over all `pairs`, runs the
+/// lockstep groups, evaluates stragglers through the scalar kernels, and
+/// returns distances in input order. This is the serial reference for the
+/// parallel wavefront schedule in [`super::builder::MatrixBuilder`].
+pub fn batch_distances(measure: &Measure, pairs: &[(&Trajectory, &Trajectory)]) -> Vec<f64> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    if !measure.supports_batch() {
+        return pairs.iter().map(|&(a, b)| measure.distance(a, b)).collect();
+    }
+    let lens: Vec<(usize, usize)> = pairs
+        .iter()
+        .map(|&(a, b)| pair_len_key(measure, a, b))
+        .collect();
+    let plan = plan_batches(&lens);
+    let mut out = vec![0.0; pairs.len()];
+    for g in 0..plan.groups.len() {
+        let idxs = plan.group(g);
+        let group_pairs: Vec<(&Trajectory, &Trajectory)> = idxs.iter().map(|&p| pairs[p]).collect();
+        let vals = eval_batch(measure, &group_pairs);
+        for (k, &p) in idxs.iter().enumerate() {
+            out[p] = vals[k];
+        }
+    }
+    for &p in &plan.stragglers {
+        out[p] = measure.distance(pairs[p].0, pairs[p].1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(coords: &[(f64, f64)]) -> Trajectory {
+        Trajectory::from_xy(coords).unwrap()
+    }
+
+    /// Deterministic wiggly trajectory of a given length and phase.
+    fn wiggle(len: usize, phase: f64) -> Trajectory {
+        let pts: Vec<(f64, f64)> = (0..len)
+            .map(|k| {
+                let x = k as f64 * 0.13 + phase;
+                (x, (x * 1.7 + phase).sin() * 0.4)
+            })
+            .collect();
+        Trajectory::from_xy(&pts).unwrap()
+    }
+
+    fn supported() -> [Measure; 3] {
+        [
+            MeasureKind::Dtw.measure(),
+            MeasureKind::Erp.measure(),
+            MeasureKind::Edr.measure().with_edr_eps(0.2),
+        ]
+    }
+
+    #[test]
+    fn plan_partitions_exactly_once() {
+        let lens: Vec<(usize, usize)> = (0..23).map(|i| (3 + i % 5, 2 + (i * 7) % 6)).collect();
+        let plan = plan_batches(&lens);
+        let mut seen = vec![0usize; lens.len()];
+        for &p in plan.batched.iter().chain(&plan.stragglers) {
+            seen[p] += 1;
+        }
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "partition not exact: {seen:?}"
+        );
+        let covered: usize = plan.groups.iter().map(|&(_, len)| len).sum();
+        assert_eq!(covered, plan.batched.len());
+        for g in 0..plan.groups.len() {
+            let len = plan.group(g).len();
+            assert!((MIN_GROUP..=LANES).contains(&len));
+        }
+    }
+
+    #[test]
+    fn plan_demotes_singletons_and_ragged_groups() {
+        // A single pair can't form a lockstep group.
+        let plan = plan_batches(&[(5, 5)]);
+        assert!(plan.groups.is_empty());
+        assert_eq!(plan.stragglers, vec![0]);
+        // A chunk of tiny pairs dragged to a huge pad by one long pair
+        // fails the fill check and runs scalar.
+        let mut lens = vec![(2, 2); 7];
+        lens.push((100, 100));
+        let plan = plan_batches(&lens);
+        assert!(plan.groups.is_empty());
+        assert_eq!(plan.stragglers.len(), 8);
+        // Uniform lengths batch fully.
+        let plan = plan_batches(&[(10, 10); 16]);
+        assert_eq!(plan.groups.len(), 2);
+        assert!(plan.stragglers.is_empty());
+    }
+
+    #[test]
+    fn batch_of_one_matches_scalar_bits() {
+        let a = wiggle(9, 0.0);
+        let b = wiggle(13, 0.5);
+        for m in supported() {
+            let batched = eval_batch(&m, &[(&a, &b)]);
+            assert_eq!(batched[0].to_bits(), m.distance(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn ragged_batch_matches_scalar_bits() {
+        let trajs: Vec<Trajectory> = [1usize, 2, 3, 5, 8, 13, 21, 34]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| wiggle(len, i as f64 * 0.3))
+            .collect();
+        let pairs: Vec<(&Trajectory, &Trajectory)> = (0..trajs.len())
+            .map(|i| (&trajs[i], &trajs[(i + 3) % trajs.len()]))
+            .collect();
+        for m in supported() {
+            let batched = eval_batch(&m, &pairs);
+            for (k, &(a, b)) in pairs.iter().enumerate() {
+                assert_eq!(
+                    batched[k].to_bits(),
+                    m.distance(a, b).to_bits(),
+                    "{} pair {k}",
+                    m.kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn length_one_lanes_are_exact() {
+        let single = t(&[(0.4, -0.2)]);
+        let multi = wiggle(6, 0.1);
+        let pairs: Vec<(&Trajectory, &Trajectory)> = vec![
+            (&single, &single),
+            (&single, &multi),
+            (&multi, &single),
+            (&multi, &multi),
+        ];
+        for m in supported() {
+            let batched = eval_batch(&m, &pairs);
+            for (k, &(a, b)) in pairs.iter().enumerate() {
+                assert_eq!(
+                    batched[k].to_bits(),
+                    m.distance(a, b).to_bits(),
+                    "{} pair {k}",
+                    m.kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_distances_covers_groups_and_stragglers() {
+        // 19 pairs: two full groups of 8, a 3-pair group or stragglers —
+        // either way every result must be scalar-exact and in order.
+        let trajs: Vec<Trajectory> = (0..19)
+            .map(|i| wiggle(4 + i % 9, i as f64 * 0.21))
+            .collect();
+        let pairs: Vec<(&Trajectory, &Trajectory)> = (0..19)
+            .map(|i| (&trajs[i], &trajs[(i * 5 + 1) % 19]))
+            .collect();
+        for m in supported() {
+            let got = batch_distances(&m, &pairs);
+            for (k, &(a, b)) in pairs.iter().enumerate() {
+                assert_eq!(
+                    got[k].to_bits(),
+                    m.distance(a, b).to_bits(),
+                    "{} pair {k}",
+                    m.kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_measures_fall_back_to_scalar() {
+        let a = wiggle(5, 0.0);
+        let b = wiggle(7, 0.4);
+        let m = MeasureKind::Sspd.measure();
+        assert!(!m.supports_batch());
+        let got = batch_distances(&m, &[(&a, &b)]);
+        assert_eq!(got[0].to_bits(), m.distance(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn dtw_swapped_operands_share_lane_results() {
+        // DTW re-orients each lane (long, short): both orderings of the
+        // same pair land on identical bits, matching the scalar kernel.
+        let a = wiggle(11, 0.0);
+        let b = wiggle(4, 0.9);
+        let m = MeasureKind::Dtw.measure();
+        let got = eval_batch(&m, &[(&a, &b), (&b, &a)]);
+        assert_eq!(got[0].to_bits(), got[1].to_bits());
+        assert_eq!(got[0].to_bits(), crate::dtw::dtw(&a, &b).to_bits());
+    }
+}

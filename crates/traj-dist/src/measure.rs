@@ -165,6 +165,25 @@ impl Measure {
         )
     }
 
+    /// Whether the measure has a wavefront-batched kernel
+    /// ([`crate::matrix::wavefront`]): the same DP measures that admit
+    /// early abandoning (DTW, ERP, EDR) — their recurrences read only the
+    /// three neighbor cells, so anti-diagonal lockstep execution applies.
+    pub fn supports_batch(&self) -> bool {
+        matches!(
+            self.kind,
+            MeasureKind::Dtw | MeasureKind::Erp | MeasureKind::Edr
+        )
+    }
+
+    /// Evaluates many pairs at once through the wavefront-batched tier
+    /// (bit-identical to per-pair [`Measure::distance`] calls; see the
+    /// [`crate::matrix::wavefront`] contract). Measures without a batched
+    /// kernel evaluate pair by pair.
+    pub fn distance_batch(&self, pairs: &[(&Trajectory, &Trajectory)]) -> Vec<f64> {
+        crate::matrix::wavefront::batch_distances(self, pairs)
+    }
+
     /// Threshold-pruned distance evaluation (see [`PrunedDistance`] for
     /// the admissibility contract). Measures without an early-abandon
     /// path always return [`PrunedDistance::Exact`].
@@ -230,6 +249,21 @@ mod tests {
         assert_eq!(MeasureKind::SPATIAL.len(), 3);
         assert_eq!(MeasureKind::SPATIO_TEMPORAL.len(), 3);
         assert!(MeasureKind::SPATIAL.iter().all(|m| !m.is_metric()));
+    }
+
+    #[test]
+    fn batch_support_and_dispatch() {
+        let a = t(&[(0.0, 0.0), (0.3, 0.2), (0.5, 0.5), (0.9, 0.1)]);
+        let b = t(&[(0.1, 0.0), (0.6, 0.4)]);
+        for kind in [MeasureKind::Dtw, MeasureKind::Erp, MeasureKind::Edr] {
+            let m = kind.measure();
+            assert!(m.supports_batch());
+            let got = m.distance_batch(&[(&a, &b), (&b, &a)]);
+            assert_eq!(got[0].to_bits(), m.distance(&a, &b).to_bits());
+            assert_eq!(got[1].to_bits(), m.distance(&b, &a).to_bits());
+        }
+        assert!(!MeasureKind::Hausdorff.measure().supports_batch());
+        assert!(!MeasureKind::Lcss.measure().supports_batch());
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Full-matrix DP oracles vs the shipped rolling-buffer kernels.
+//!
+//! The production DTW/ERP/EDR/LCSS kernels keep only 2 rolling rows
+//! (O(min(n,m)) memory). The textbook O(n·m) full-table formulation is
+//! retained here as the regression oracle: every kernel must agree with
+//! its full-matrix counterpart **bit for bit**, which pins down not just
+//! the recurrence but the exact floating-point evaluation order. Any
+//! future "optimization" that reassociates a sum or reorders a `min`
+//! chain trips these proptests immediately.
+
+use proptest::prelude::*;
+use traj_core::{Point, Trajectory};
+use traj_dist::{dtw, edr, erp, lcss_distance};
+
+/// Textbook DTW over a full (n+1)×(m+1) table, no operand swap: the
+/// rolling kernel's long/short swap must be value-transparent (it is —
+/// `(a−b)² == (b−a)²` exactly and the min set is transposed unchanged).
+fn dtw_full(a: &Trajectory, b: &Trajectory) -> f64 {
+    let (ap, bp) = (a.points(), b.points());
+    let (n, m) = (ap.len(), bp.len());
+    let mut dp = vec![f64::INFINITY; (n + 1) * (m + 1)];
+    dp[0] = 0.0;
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = ap[i - 1].dist(&bp[j - 1]);
+            let diag = dp[(i - 1) * (m + 1) + (j - 1)];
+            let up = dp[(i - 1) * (m + 1) + j];
+            let left = dp[i * (m + 1) + (j - 1)];
+            dp[i * (m + 1) + j] = cost + diag.min(up).min(left);
+        }
+    }
+    dp[n * (m + 1) + m]
+}
+
+/// Full-table ERP with the same boundary accumulation order as the
+/// rolling kernel (sequential prefix sums of gap costs).
+fn erp_full(a: &Trajectory, b: &Trajectory, g: &Point) -> f64 {
+    let (ap, bp) = (a.points(), b.points());
+    let (n, m) = (ap.len(), bp.len());
+    let w = m + 1;
+    let mut dp = vec![0.0f64; (n + 1) * w];
+    for j in 1..=m {
+        dp[j] = dp[j - 1] + bp[j - 1].dist(g);
+    }
+    for i in 1..=n {
+        dp[i * w] = dp[(i - 1) * w] + ap[i - 1].dist(g);
+        for j in 1..=m {
+            let match_cost = dp[(i - 1) * w + (j - 1)] + ap[i - 1].dist(&bp[j - 1]);
+            let del_a = dp[(i - 1) * w + j] + ap[i - 1].dist(g);
+            let del_b = dp[i * w + (j - 1)] + bp[j - 1].dist(g);
+            dp[i * w + j] = match_cost.min(del_a).min(del_b);
+        }
+    }
+    dp[n * w + m]
+}
+
+/// Full-table EDR (integer edit counts; "bit identity" is plain equality).
+fn edr_full(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
+    let (ap, bp) = (a.points(), b.points());
+    let (n, m) = (ap.len(), bp.len());
+    let w = m + 1;
+    let mut dp = vec![0u32; (n + 1) * w];
+    for (j, cell) in dp.iter_mut().enumerate().take(m + 1) {
+        *cell = j as u32;
+    }
+    for i in 1..=n {
+        dp[i * w] = i as u32;
+        for j in 1..=m {
+            let p = &ap[i - 1];
+            let q = &bp[j - 1];
+            let sub = if (p.x - q.x).abs() <= eps && (p.y - q.y).abs() <= eps {
+                0
+            } else {
+                1
+            };
+            dp[i * w + j] = (dp[(i - 1) * w + (j - 1)] + sub)
+                .min(dp[(i - 1) * w + j] + 1)
+                .min(dp[i * w + (j - 1)] + 1);
+        }
+    }
+    dp[n * w + m] as f64
+}
+
+/// Full-table LCSS length.
+fn lcss_full(a: &Trajectory, b: &Trajectory, eps: f64) -> usize {
+    let (ap, bp) = (a.points(), b.points());
+    let (n, m) = (ap.len(), bp.len());
+    let w = m + 1;
+    let mut dp = vec![0u32; (n + 1) * w];
+    for i in 1..=n {
+        for j in 1..=m {
+            let p = &ap[i - 1];
+            let q = &bp[j - 1];
+            dp[i * w + j] = if (p.x - q.x).abs() <= eps && (p.y - q.y).abs() <= eps {
+                dp[(i - 1) * w + (j - 1)] + 1
+            } else {
+                dp[(i - 1) * w + j].max(dp[i * w + (j - 1)])
+            };
+        }
+    }
+    dp[n * w + m] as usize
+}
+
+fn traj_strategy() -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..24)
+        .prop_map(|pts| Trajectory::from_xy(&pts).expect("finite points"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Rolling-buffer DTW is bit-identical to the full-matrix oracle —
+    /// including across the long/short operand swap.
+    #[test]
+    fn dtw_rolling_matches_full_matrix_bits(a in traj_strategy(), b in traj_strategy()) {
+        prop_assert_eq!(dtw(&a, &b).to_bits(), dtw_full(&a, &b).to_bits());
+        prop_assert_eq!(dtw(&b, &a).to_bits(), dtw_full(&b, &a).to_bits());
+    }
+
+    /// Rolling-buffer ERP is bit-identical to the full-matrix oracle.
+    #[test]
+    fn erp_rolling_matches_full_matrix_bits(a in traj_strategy(), b in traj_strategy()) {
+        let g = Point::new(0.0, 0.0);
+        prop_assert_eq!(erp(&a, &b, &g).to_bits(), erp_full(&a, &b, &g).to_bits());
+        // A non-origin gap point exercises the boundary prefix sums.
+        let g2 = Point::new(1.5, -0.25);
+        prop_assert_eq!(erp(&a, &b, &g2).to_bits(), erp_full(&a, &b, &g2).to_bits());
+    }
+
+    /// Rolling-buffer EDR equals the full-matrix oracle exactly.
+    #[test]
+    fn edr_rolling_matches_full_matrix(a in traj_strategy(), b in traj_strategy(), eps in 0.01f64..5.0) {
+        prop_assert_eq!(edr(&a, &b, eps).to_bits(), edr_full(&a, &b, eps).to_bits());
+    }
+
+    /// Rolling-buffer LCSS equals the full-matrix oracle exactly.
+    #[test]
+    fn lcss_rolling_matches_full_matrix(a in traj_strategy(), b in traj_strategy(), eps in 0.01f64..5.0) {
+        let expected = 1.0 - lcss_full(&a, &b, eps) as f64 / (a.len().min(b.len()) as f64);
+        prop_assert_eq!(lcss_distance(&a, &b, eps).to_bits(), expected.to_bits());
+    }
+}

@@ -1,0 +1,178 @@
+//! Golden-vector regression tests: checked-in f64 bit patterns.
+//!
+//! Proptest catches drift only when the generator happens to hit a
+//! sensitive input; these fixtures pin the exact IEEE-754 bits of
+//! DTW/ERP/EDR/LCSS over a small deliberately awkward trajectory set
+//! (duplicate points, single points, near-tolerance deltas, negative
+//! coordinates), so *any* change to kernel arithmetic — reassociation,
+//! min-order, boundary handling — fails loudly and immediately.
+//!
+//! The expected values are hex-encoded `f64::to_bits` (exact, no
+//! parsing/rounding ambiguity). To regenerate after an *intentional*
+//! semantics change, run:
+//!
+//! ```text
+//! cargo test -p traj-dist --test golden_vectors -- --ignored regenerate --nocapture
+//! ```
+//!
+//! and paste the printed table over `EXPECTED`.
+
+use traj_core::Trajectory;
+use traj_dist::measure::{Measure, MeasureKind};
+
+/// EDR/LCSS tolerance used by the fixture: wide enough that some point
+/// pairs match and others miss, so the DP actually branches.
+const EPS: f64 = 0.25;
+
+fn fixture() -> Vec<Trajectory> {
+    let coords: [&[(f64, f64)]; 5] = [
+        // A short ramp.
+        &[(0.0, 0.0), (0.5, 0.25), (1.0, 0.5)],
+        // Same ramp perturbed near the ±EPS boundary.
+        &[(0.1, 0.0), (0.5, 0.5), (1.2, 0.5), (1.4, 0.6)],
+        // A single point (degenerate lane).
+        &[(0.3, -0.4)],
+        // Duplicate points and a revisit.
+        &[(0.0, 0.0), (0.0, 0.0), (1.0, 1.0), (0.0, 0.0)],
+        // Negative quadrant zig-zag, longer than the others.
+        &[
+            (-1.0, -1.0),
+            (-0.5, -1.5),
+            (0.0, -1.0),
+            (-0.5, -0.5),
+            (-1.0, -1.0),
+            (-1.5, -0.5),
+        ],
+    ];
+    coords
+        .iter()
+        .map(|c| Trajectory::from_xy(c).unwrap())
+        .collect()
+}
+
+fn measures() -> [(&'static str, Measure); 4] {
+    [
+        ("DTW", MeasureKind::Dtw.measure()),
+        ("ERP", MeasureKind::Erp.measure()),
+        ("EDR", {
+            let mut m = MeasureKind::Edr.measure();
+            m.edr_eps = EPS;
+            m
+        }),
+        ("LCSS", {
+            let mut m = MeasureKind::Lcss.measure();
+            m.lcss_eps = EPS;
+            m
+        }),
+    ]
+}
+
+/// (measure name, i, j, expected f64 bits) for every unordered pair.
+const EXPECTED: &[(&str, usize, usize, u64)] = &[
+    ("DTW", 0, 1, 0x3feecb3f85598a6a),
+    ("DTW", 0, 2, 0x40028fdeae890a5a),
+    ("DTW", 0, 3, 0x400027c69ee450d1),
+    ("DTW", 0, 4, 0x4022b1f926a72bab),
+    ("DTW", 1, 2, 0x401083a71982fce0),
+    ("DTW", 1, 3, 0x4006f341d19a491d),
+    ("DTW", 1, 4, 0x4026924408f9ffc0),
+    ("DTW", 2, 3, 0x400885a08683f80f),
+    ("DTW", 2, 4, 0x401e039e2c4516ed),
+    ("DTW", 3, 4, 0x4021de2575a456af),
+    ("ERP", 0, 1, 0x3fff674de7e10b2f),
+    ("ERP", 0, 2, 0x3ffb2fe463f40977),
+    ("ERP", 0, 3, 0x3ff0f1bbcdcbfa54),
+    ("ERP", 0, 4, 0x4021deb9ffc7a80d),
+    ("ERP", 1, 2, 0x400cbfecf1fadd6c),
+    ("ERP", 1, 3, 0x400561e0e152dae8),
+    ("ERP", 1, 4, 0x40254b4e7491944e),
+    ("ERP", 2, 3, 0x3ff90b410d07f01e),
+    ("ERP", 2, 4, 0x401d797aa806b156),
+    ("ERP", 3, 4, 0x4021de2575a456af),
+    ("EDR", 0, 1, 0x3ff0000000000000),
+    ("EDR", 0, 2, 0x4008000000000000),
+    ("EDR", 0, 3, 0x4008000000000000),
+    ("EDR", 0, 4, 0x4018000000000000),
+    ("EDR", 1, 2, 0x4010000000000000),
+    ("EDR", 1, 3, 0x4008000000000000),
+    ("EDR", 1, 4, 0x4018000000000000),
+    ("EDR", 2, 3, 0x4010000000000000),
+    ("EDR", 2, 4, 0x4018000000000000),
+    ("EDR", 3, 4, 0x4018000000000000),
+    ("LCSS", 0, 1, 0x0000000000000000),
+    ("LCSS", 0, 2, 0x3ff0000000000000),
+    ("LCSS", 0, 3, 0x3fe5555555555556),
+    ("LCSS", 0, 4, 0x3ff0000000000000),
+    ("LCSS", 1, 2, 0x3ff0000000000000),
+    ("LCSS", 1, 3, 0x3fe8000000000000),
+    ("LCSS", 1, 4, 0x3ff0000000000000),
+    ("LCSS", 2, 3, 0x3ff0000000000000),
+    ("LCSS", 2, 4, 0x3ff0000000000000),
+    ("LCSS", 3, 4, 0x3ff0000000000000),
+];
+
+#[test]
+fn golden_bits_match() {
+    let trajs = fixture();
+    let measures = measures();
+    assert_eq!(
+        EXPECTED.len(),
+        measures.len() * trajs.len() * (trajs.len() - 1) / 2,
+        "fixture shape drifted; regenerate the table"
+    );
+    for &(name, i, j, bits) in EXPECTED {
+        let (_, m) = measures
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("unknown measure in table");
+        let got = m.distance(&trajs[i], &trajs[j]);
+        assert_eq!(
+            got.to_bits(),
+            bits,
+            "{name}({i},{j}): got {got:.17} ({:#018x}), expected {:#018x} ({:.17})",
+            got.to_bits(),
+            bits,
+            f64::from_bits(bits)
+        );
+    }
+}
+
+/// The batched tier must reproduce the same golden bits (it claims bit
+/// identity, so it inherits the fixture for free).
+#[test]
+fn golden_bits_match_batched_tier() {
+    let trajs = fixture();
+    for (name, m) in measures() {
+        if !m.supports_batch() {
+            continue;
+        }
+        let mut pairs = Vec::new();
+        let mut expected = Vec::new();
+        for &(n, i, j, bits) in EXPECTED {
+            if n == name {
+                pairs.push((&trajs[i], &trajs[j]));
+                expected.push(bits);
+            }
+        }
+        let got = m.distance_batch(&pairs);
+        for (k, (&bits, d)) in expected.iter().zip(&got).enumerate() {
+            assert_eq!(d.to_bits(), bits, "{name} batched pair #{k}");
+        }
+    }
+}
+
+/// Prints the `EXPECTED` table from the current kernels. Ignored by
+/// default; see the module docs.
+#[test]
+#[ignore = "regeneration helper, not a check"]
+fn regenerate() {
+    let trajs = fixture();
+    for (name, m) in measures() {
+        for i in 0..trajs.len() {
+            for j in (i + 1)..trajs.len() {
+                let d = m.distance(&trajs[i], &trajs[j]);
+                println!("    (\"{name}\", {i}, {j}, {:#018x}),", d.to_bits());
+            }
+        }
+    }
+}
