@@ -7,11 +7,14 @@
 //! * `kernel_heap` — `EmbeddingStore::knn`: monomorphized kernel +
 //!   bounded heap (O(n log k), single-threaded);
 //! * `sharded_batch` — `ShardedStore::knn_batch` over 4 queries, fanned
-//!   across threads (reported per batch; divide by 4 for per-query).
+//!   across threads (reported per batch; divide by 4 for per-query);
+//! * `indexed_batch` — `IndexedStore::knn_batch` over the same 4 queries:
+//!   pivot cells + triangle-inequality pruning (exact for Euclidean /
+//!   Lorentz, full-coverage probing for fused).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lh_core::config::{PluginConfig, PluginVariant};
-use lh_core::{EmbeddingStore, ShardedStore};
+use lh_core::{EmbeddingStore, IndexParams, IndexedStore, ShardedStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,6 +69,12 @@ fn bench_knn_scan(c: &mut Criterion) {
             BenchmarkId::new("sharded_batch4", variant.name()),
             &(&sharded, &q),
             |b, (sharded, q)| b.iter(|| std::hint::black_box(sharded.knn_batch(q, 50))),
+        );
+        let indexed = IndexedStore::build(db.clone(), IndexParams::default());
+        group.bench_with_input(
+            BenchmarkId::new("indexed_batch4", variant.name()),
+            &(&indexed, &q),
+            |b, (indexed, q)| b.iter(|| std::hint::black_box(indexed.knn_batch(q, 50))),
         );
     }
     group.finish();

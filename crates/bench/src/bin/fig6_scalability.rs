@@ -5,17 +5,21 @@
 //! model's embeddings are loaded into the sharded retrieval engine and the
 //! batched top-10 scan (`ShardedStore::knn_batch`) is timed per query, so
 //! the figure shows how both accuracy *and* retrieval latency move as the
-//! database grows.
+//! database grows. With `--index` the pivot-partitioned tier
+//! (`ExperimentOutcome::build_index`) is timed alongside, so the figure
+//! can plot flat vs indexed serving latency from the same run — indexed
+//! results are asserted identical to the flat engine's before timing.
 //!
 //! Usage: `cargo run --release -p lh-bench --bin fig6_scalability
-//!        [--n 200] [--epochs 25] [--seed 42] [--shard-rows 8192]`
+//!        [--n 200] [--epochs 25] [--seed 42] [--shard-rows 8192]
+//!        [--index]`
 
 use lh_bench::printer::write_artifact;
 use lh_bench::{default_spec, print_header, Args, Table};
 use lh_core::config::PluginVariant;
 use lh_core::pipeline::run_experiment;
 use lh_core::retrieval::DEFAULT_SHARD_ROWS;
-use lh_core::ShardedStore;
+use lh_core::{IndexParams, ShardedStore};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -25,6 +29,8 @@ struct FracPoint {
     hr10: f64,
     hr50: f64,
     knn_query_seconds: f64,
+    /// Indexed-tier serving latency; present only under `--index`.
+    indexed_query_seconds: Option<f64>,
 }
 
 fn main() {
@@ -36,8 +42,13 @@ fn main() {
     let base = default_spec(&args);
     let full_db = base.n - base.n_queries;
     let shard_rows = args.get("shard-rows", DEFAULT_SHARD_ROWS);
+    let with_index = args.flag("index");
 
-    let mut table = Table::new(&["fraction", "plugin", "HR@10", "HR@50", "knn@10/query"]);
+    let mut headers = vec!["fraction", "plugin", "HR@10", "HR@50", "knn@10/query"];
+    if with_index {
+        headers.push("indexed@10/query");
+    }
+    let mut table = Table::new(&headers);
     let mut points = Vec::new();
     for frac in [0.2f64, 0.4, 0.6, 0.8, 1.0] {
         for variant in [PluginVariant::Original, PluginVariant::FusionDist] {
@@ -51,9 +62,10 @@ fn main() {
 
             // Serving cost at this scale through the sharded engine,
             // reusing the stores the experiment already embedded.
+            let index = with_index.then(|| out.build_index(IndexParams::default()));
             let q_store = out.q_store;
             let sharded = ShardedStore::new(out.db_store, shard_rows);
-            let _ = sharded.knn_batch(&q_store, 10); // warm-up
+            let flat_hits = sharded.knn_batch(&q_store, 10); // warm-up
             const REPS: usize = 5; // average several batches: one is µs-scale here
             let start = std::time::Instant::now();
             for _ in 0..REPS {
@@ -62,19 +74,40 @@ fn main() {
             let knn_query_seconds =
                 start.elapsed().as_secs_f64() / (REPS * q_store.len().max(1)) as f64;
 
-            table.row(vec![
+            let indexed_query_seconds = index.map(|ix| {
+                // Full probe budget ⇒ identical to the flat engine even
+                // for the non-metric fused variant.
+                assert_eq!(
+                    flat_hits,
+                    ix.knn_batch(&q_store, 10),
+                    "{}: indexed top-10 diverged from the flat engine",
+                    variant.name()
+                );
+                let start = std::time::Instant::now();
+                for _ in 0..REPS {
+                    std::hint::black_box(ix.knn_batch(&q_store, 10));
+                }
+                start.elapsed().as_secs_f64() / (REPS * q_store.len().max(1)) as f64
+            });
+
+            let mut row = vec![
                 format!("{:.0}%", frac * 100.0),
                 variant.name().into(),
                 format!("{:.3}", out.eval.hr10),
                 format!("{:.3}", out.eval.hr50),
                 format!("{:.1} µs", knn_query_seconds * 1e6),
-            ]);
+            ];
+            if let Some(ix_s) = indexed_query_seconds {
+                row.push(format!("{:.1} µs", ix_s * 1e6));
+            }
+            table.row(row);
             points.push(FracPoint {
                 fraction: frac,
                 variant: variant.name().into(),
                 hr10: out.eval.hr10,
                 hr50: out.eval.hr50,
                 knn_query_seconds,
+                indexed_query_seconds,
             });
             eprintln!("[fig6] fraction {frac} / {} done", variant.name());
         }

@@ -15,8 +15,7 @@
 //! caches and scheduler noise only ever make a rep slower, so min is the
 //! right estimator for throughput tracking).
 
-use lh_bench::{print_header, Args, Table};
-use std::time::Instant;
+use lh_bench::{append_record, best_of, print_header, Args, Table};
 use traj_core::Trajectory;
 use traj_dist::matrix::wavefront::LANES;
 use traj_dist::MeasureKind;
@@ -38,32 +37,6 @@ fn make_pairs(l: usize, n_pairs: usize) -> Vec<(Trajectory, Trajectory)> {
     (0..n_pairs)
         .map(|i| (traj(2 * i), traj(2 * i + 1)))
         .collect()
-}
-
-/// Best-of-`reps` wall-clock seconds for `f`.
-fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps.max(1) {
-        let start = Instant::now();
-        std::hint::black_box(f());
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
-}
-
-/// Splices `record` (a JSON object) into the JSON array at `path`,
-/// creating the file as `[record]` when absent. String-level append: the
-/// artifact stays human-diffable and we avoid needing `Deserialize` for
-/// the history.
-fn append_record(path: &str, record: &str) {
-    let existing = std::fs::read_to_string(path).unwrap_or_default();
-    let trimmed = existing.trim_end();
-    let out = match trimmed.strip_suffix(']') {
-        Some(head) if head.trim_end().ends_with('[') => format!("[\n{record}\n]\n"),
-        Some(head) => format!("{},\n{record}\n]\n", head.trim_end()),
-        None => format!("[\n{record}\n]\n"),
-    };
-    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
 }
 
 fn main() {

@@ -1,0 +1,268 @@
+//! Flat-scan vs indexed kNN serving throughput, tracked over time.
+//!
+//! The serving-tier counterpart of `kernel_bench`: for each plugin
+//! variant it builds a clustered synthetic store (a Gaussian mixture —
+//! real embedding collections are clustered; uniform noise is the known
+//! ANN worst case and would understate every index ever built), serves a
+//! query batch through both `ShardedStore::knn_batch` (exact flat scan)
+//! and `IndexedStore::knn_batch` (pivot cells + triangle-inequality
+//! pruning), verifies the indexed results are bit-identical for exact
+//! configurations, measures recall for budgeted ones, and appends one
+//! record to `BENCH_retrieval.json` recording QPS, cells probed, and
+//! prune rate per variant — so the metric-vs-fused pruning gap (the
+//! paper's thesis at serving time) is a tracked number, not a vibe.
+//!
+//! The fused (non-metric) variant appears twice: at full probe budget
+//! (complete coverage, recall 1.0, no pruning — paying for metric
+//! violations with work) and at a capped budget (sub-linear again, but
+//! with measured recall < 1 — paying with accuracy instead).
+//!
+//! Usage: `cargo run --release -p lh-bench --bin retrieval_bench
+//!        [--max-n 200000] [--dim 16] [--queries 32] [--k 10]
+//!        [--reps 3] [--clusters 64] [--out BENCH_retrieval.json]
+//!        [--no-append]`
+
+use lh_bench::{append_record, best_of, print_header, Args, Table};
+use lh_core::config::{PluginConfig, PluginVariant};
+use lh_core::{EmbeddingStore, IndexParams, IndexedStore, ShardedStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mixture centers shared by a database and its queries (querying the
+/// distribution you indexed is the realistic serving workload).
+fn mixture_centers(clusters: usize, dim: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+    (0..clusters.max(1))
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+/// Clustered synthetic store: rows drawn from Gaussian blobs around
+/// `centers` (σ ≈ 0.05 via an Irwin–Hall approximation — no normal
+/// sampler in the offline `rand` shim), valid hyperboloid rows, positive
+/// factors.
+fn synth_clustered(
+    n: usize,
+    dim: usize,
+    centers: &[Vec<f32>],
+    cfg: &PluginConfig,
+    rng: &mut StdRng,
+) -> EmbeddingStore {
+    let mut store = EmbeddingStore::new(
+        dim,
+        cfg.variant,
+        cfg.beta,
+        cfg.variant.uses_fusion().then_some(cfg.factor_dim),
+    );
+    let mut eu = vec![0.0f32; dim];
+    let mut hy = vec![0.0f32; dim + 1];
+    let mut fa = vec![0.0f32; 2 * cfg.factor_dim];
+    for _ in 0..n {
+        let c = &centers[rng.gen_range(0..centers.len())];
+        for (v, &cv) in eu.iter_mut().zip(c) {
+            // Sum of 4 uniforms − 2 ≈ N(0, 1/3); scaled to σ ≈ 0.05.
+            let g: f32 = (0..4).map(|_| rng.gen_range(0.0f32..1.0)).sum::<f32>() - 2.0;
+            *v = cv + g * 0.087;
+        }
+        let nsq: f32 = eu.iter().map(|v| v * v).sum();
+        hy[0] = (nsq + cfg.beta).sqrt();
+        hy[1..].copy_from_slice(&eu);
+        for v in &mut fa {
+            *v = rng.gen_range(0.01..1.0);
+        }
+        store.push(
+            &eu,
+            cfg.variant.uses_hyperbolic().then_some(&hy[..]),
+            cfg.variant.uses_fusion().then_some(&fa[..]),
+        );
+    }
+    store
+}
+
+/// Mean recall@k of `got` against the exact `want` (id overlap).
+fn recall(want: &[Vec<lh_core::RetrievalResult>], got: &[Vec<lh_core::RetrievalResult>]) -> f64 {
+    let mut hit = 0usize;
+    let mut total = 0usize;
+    for (w, g) in want.iter().zip(got) {
+        let truth: std::collections::HashSet<usize> = w.iter().map(|h| h.index).collect();
+        hit += g.iter().filter(|h| truth.contains(&h.index)).count();
+        total += w.len();
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    hit as f64 / total as f64
+}
+
+/// Whether two result batches agree bit for bit (ids and f32 payloads).
+fn bit_identical(a: &[Vec<lh_core::RetrievalResult>], b: &[Vec<lh_core::RetrievalResult>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.len() == y.len()
+                && x.iter().zip(y).all(|(h, g)| {
+                    h.index == g.index && h.distance.to_bits() == g.distance.to_bits()
+                })
+        })
+}
+
+struct Config {
+    label: &'static str,
+    variant: PluginVariant,
+    /// Probe budget as a fraction of the cell count; `None` = unbudgeted.
+    budget_frac: Option<f64>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let max_n = args.get("max-n", 200_000usize);
+    let dim = args.get("dim", 16usize);
+    let n_queries = args.get("queries", 32usize);
+    let k = args.get("k", 10usize);
+    let reps = args.get("reps", 3usize);
+    let clusters = args.get("clusters", 64usize);
+    let out_path = args.get_str("out").unwrap_or("BENCH_retrieval.json");
+
+    let mut sizes: Vec<usize> = [20_000usize, 50_000, 200_000]
+        .into_iter()
+        .filter(|&s| s <= max_n)
+        .collect();
+    if sizes.is_empty() {
+        // Smoke scale (e.g. `--max-n 2000` in CI): run at max_n itself.
+        sizes.push(max_n);
+    }
+    let largest = *sizes.last().expect("at least one size");
+
+    let configs = [
+        Config {
+            label: "original",
+            variant: PluginVariant::Original,
+            budget_frac: None,
+        },
+        Config {
+            label: "lh-cosh",
+            variant: PluginVariant::LorentzCosh,
+            budget_frac: None,
+        },
+        Config {
+            label: "fusion-dist",
+            variant: PluginVariant::FusionDist,
+            budget_frac: None,
+        },
+        Config {
+            label: "fusion-dist@10%",
+            variant: PluginVariant::FusionDist,
+            budget_frac: Some(0.1),
+        },
+    ];
+
+    print_header(
+        "retrieval_bench",
+        &format!("flat vs indexed kNN serving, dim={dim}, k={k}, {n_queries} queries"),
+    );
+    let mut table = Table::new(&[
+        "n",
+        "variant",
+        "flat QPS",
+        "indexed QPS",
+        "speedup",
+        "recall",
+        "cells probed",
+        "prune rate",
+    ]);
+    let mut rows_json = Vec::new();
+    for &n in &sizes {
+        for cfg in &configs {
+            let plugin = PluginConfig::paper_default().with_variant(cfg.variant);
+            let mut rng = StdRng::seed_from_u64(31 + n as u64);
+            let centers = mixture_centers(clusters, dim, &mut rng);
+            let db = synth_clustered(n, dim, &centers, &plugin, &mut rng);
+            let queries = synth_clustered(n_queries, dim, &centers, &plugin, &mut rng);
+
+            let sharded = ShardedStore::new(db.clone(), 8192);
+            let build_start = std::time::Instant::now();
+            let mut indexed = IndexedStore::build(db, IndexParams::default());
+            let build_seconds = build_start.elapsed().as_secs_f64();
+            if let Some(frac) = cfg.budget_frac {
+                let budget = ((indexed.num_cells() as f64 * frac).ceil() as usize).max(1);
+                indexed = indexed.with_probe_budget(Some(budget));
+            }
+
+            // Correctness gate before timing: exact configurations must
+            // match the flat engine bit for bit; budgeted ones report
+            // measured recall.
+            let flat_hits = sharded.knn_batch(&queries, k);
+            let (indexed_hits, stats) = indexed.knn_batch_with_stats(&queries, k);
+            let identical = bit_identical(&flat_hits, &indexed_hits);
+            let measured_recall = recall(&flat_hits, &indexed_hits);
+            if cfg.budget_frac.is_none() {
+                assert!(
+                    identical,
+                    "{} n={n}: unbudgeted indexed top-k must be bit-identical \
+                     to the flat scan (recall {measured_recall:.4})",
+                    cfg.label
+                );
+            }
+
+            let flat_s = best_of(reps, || sharded.knn_batch(&queries, k));
+            let indexed_s = best_of(reps, || indexed.knn_batch(&queries, k));
+            let flat_qps = n_queries as f64 / flat_s;
+            let indexed_qps = n_queries as f64 / indexed_s;
+            let speedup = indexed_qps / flat_qps;
+
+            table.row(vec![
+                format!("{n}"),
+                cfg.label.to_string(),
+                format!("{flat_qps:.0}"),
+                format!("{indexed_qps:.0}"),
+                format!("{speedup:.1}x"),
+                if identical {
+                    "1.0 (bit-identical)".into()
+                } else {
+                    format!("{measured_recall:.4}")
+                },
+                format!(
+                    "{:.1}/{}",
+                    stats.cells_probed_per_query(),
+                    indexed.num_cells()
+                ),
+                format!("{:.1}%", stats.prune_rate() * 100.0),
+            ]);
+            rows_json.push(format!(
+                "    {{\"n\": {n}, \"variant\": \"{}\", \"exact\": {}, \
+                 \"flat_qps\": {flat_qps:.2}, \"indexed_qps\": {indexed_qps:.2}, \
+                 \"speedup\": {speedup:.3}, \"recall\": {measured_recall:.6}, \
+                 \"bit_identical\": {identical}, \"cells\": {}, \
+                 \"cells_probed_per_query\": {:.3}, \"prune_rate\": {:.6}, \
+                 \"build_seconds\": {build_seconds:.4}}}",
+                cfg.label,
+                indexed.is_exact(),
+                indexed.num_cells(),
+                stats.cells_probed_per_query(),
+                stats.prune_rate(),
+            ));
+            eprintln!("[retrieval_bench] n={n} {} done", cfg.label);
+        }
+    }
+    table.print();
+    println!(
+        "\nexact serving (recall 1.0, bit-identical) is sub-linear only for\n\
+         metric variants; the fused distance violates the triangle inequality\n\
+         and must choose between full-coverage probing (no pruning) and a\n\
+         probe budget (measured recall < 1). Largest scale: n = {largest}."
+    );
+
+    if args.flag("no-append") {
+        return;
+    }
+    let recorded = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let record = format!(
+        "  {{\n    \"schema\": \"retrieval-bench-v1\",\n    \"recorded_at_unix\": {recorded},\n    \
+         \"dim\": {dim},\n    \"k\": {k},\n    \"queries\": {n_queries},\n    \
+         \"clusters\": {clusters},\n    \"rows\": [\n{}\n    ]\n  }}",
+        rows_json.join(",\n")
+    );
+    append_record(out_path, &record);
+    println!("\nappended record to {out_path}");
+}

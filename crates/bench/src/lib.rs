@@ -7,9 +7,11 @@
 //! (small enough for CPU, large enough to show the paper's shapes).
 
 pub mod args;
+pub mod perf;
 pub mod printer;
 pub mod scales;
 
 pub use args::Args;
+pub use perf::{append_record, best_of};
 pub use printer::{print_header, write_artifact, Table};
 pub use scales::default_spec;

@@ -1,0 +1,58 @@
+//! Shared helpers for the perf-trajectory bins (`kernel_bench`,
+//! `retrieval_bench`): best-of-N timing and the append-only JSON ledger.
+
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock seconds for `f`. Cold caches and scheduler
+/// noise only ever make a rep slower, so min is the right estimator for
+/// throughput tracking.
+pub fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Splices `record` (a JSON object) into the JSON array at `path`,
+/// creating the file as `[record]` when absent. String-level append: the
+/// artifact stays human-diffable and we avoid needing `Deserialize` for
+/// the history.
+pub fn append_record(path: &str, record: &str) {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let trimmed = existing.trim_end();
+    let out = match trimmed.strip_suffix(']') {
+        Some(head) if head.trim_end().ends_with('[') => format!("[\n{record}\n]\n"),
+        Some(head) => format!("{},\n{record}\n]\n", head.trim_end()),
+        None => format!("[\n{record}\n]\n"),
+    };
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_returns_finite_minimum() {
+        let t = best_of(3, || std::hint::black_box(1 + 1));
+        assert!(t.is_finite() && t >= 0.0);
+    }
+
+    #[test]
+    fn append_record_grows_a_valid_array() {
+        let path = std::env::temp_dir().join(format!("lh-ledger-{}.json", std::process::id()));
+        let path_s = path.to_string_lossy().into_owned();
+        let _ = std::fs::remove_file(&path);
+        append_record(&path_s, "  {\"a\": 1}");
+        append_record(&path_s, "  {\"b\": 2}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("[\n"), "got: {text}");
+        assert!(text.trim_end().ends_with(']'), "got: {text}");
+        assert!(text.contains("\"a\"") && text.contains("\"b\""));
+        assert_eq!(text.matches('{').count(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -15,7 +15,10 @@
 //!    (Neutraj-style rank-weighted distance regression);
 //! 5. [`retrieval`] stores embeddings compactly and answers top-k queries
 //!    with the O(d) fused distance — a sharded, kernel-generic query
-//!    engine with a batched parallel `knn_batch` API;
+//!    engine with a batched parallel `knn_batch` API, plus a
+//!    pivot-partitioned index tier (`IndexedStore`) that serves metric
+//!    variants sub-linearly with exact triangle-inequality pruning and
+//!    the non-metric fused distance with a probe budget;
 //! 6. [`pipeline`] drives complete experiments (data → ground truth →
 //!    train → evaluate) and is what the bench binaries call.
 //!
@@ -40,6 +43,7 @@ pub use fusion::FactorEncoder;
 pub use pipeline::{run_experiment, ExperimentOutcome, ExperimentSpec};
 pub use projection::project_rows;
 pub use retrieval::{
-    DistanceKernel, EmbeddingStore, RetrievalResult, ShardedStore, StoreDecodeError,
+    BoundSpace, DistanceKernel, EmbeddingStore, IndexParams, IndexedStore, ProbeStats,
+    RetrievalResult, ShardedStore, StoreDecodeError,
 };
 pub use trainer::{LhModel, TrainReport, Trainer, TrainerConfig};

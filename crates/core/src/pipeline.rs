@@ -3,7 +3,7 @@
 //! [`run_experiment`].
 
 use crate::config::PluginConfig;
-use crate::retrieval::EmbeddingStore;
+use crate::retrieval::{EmbeddingStore, IndexParams, IndexedStore};
 use crate::trainer::{LhModel, TrainReport, Trainer, TrainerConfig};
 use lh_data::DatasetPreset;
 use lh_metrics::ranking::RankingEval;
@@ -105,6 +105,17 @@ pub struct ExperimentOutcome {
     /// Final query embeddings.
     #[serde(skip)]
     pub q_store: EmbeddingStore,
+}
+
+impl ExperimentOutcome {
+    /// Builds the serving-tier ANN index over this outcome's database
+    /// store (cloned — the outcome keeps its copy for evaluation). Metric
+    /// variants get exact sub-linear serving; the fused variant is served
+    /// best-effort under a probe budget (see
+    /// [`IndexedStore::with_probe_budget`]).
+    pub fn build_index(&self, params: IndexParams) -> IndexedStore {
+        IndexedStore::build(self.db_store.clone(), params)
+    }
 }
 
 /// Evaluates a model's retrieval quality: embeds queries + database and
@@ -282,6 +293,22 @@ mod tests {
         assert_eq!(balanced.eval, wavefront.eval);
         assert_eq!(balanced.train_rv, wavefront.train_rv);
         assert_eq!(balanced.gt_rows, wavefront.gt_rows);
+    }
+
+    #[test]
+    fn outcome_index_serves_trained_store_exactly() {
+        let out = run_experiment(&tiny_spec());
+        let ix = out.build_index(IndexParams::default());
+        assert!(
+            !ix.is_exact(),
+            "paper-default plugin is fused, hence non-metric"
+        );
+        for qi in 0..out.q_store.len().min(3) {
+            let flat = out.db_store.knn(&out.q_store, qi, 10);
+            let indexed = ix.knn(&out.q_store, qi, 10);
+            // Full probe budget ⇒ complete coverage even for fused.
+            assert_eq!(flat, indexed, "qi={qi}");
+        }
     }
 
     #[test]

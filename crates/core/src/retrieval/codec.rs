@@ -52,6 +52,12 @@ pub enum StoreDecodeError {
         /// Which buffer's expected size overflowed.
         field: &'static str,
     },
+    /// A magic-number-prefixed payload (the index codec) does not start
+    /// with the expected magic.
+    BadMagic(u32),
+    /// A versioned payload (the index codec) declares a format version
+    /// this decoder does not understand.
+    UnsupportedVersion(u32),
 }
 
 impl std::fmt::Display for StoreDecodeError {
@@ -81,6 +87,12 @@ impl std::fmt::Display for StoreDecodeError {
             }
             StoreDecodeError::HeaderOverflow { field } => {
                 write!(f, "corrupt payload: header sizes for `{field}` overflow")
+            }
+            StoreDecodeError::BadMagic(magic) => {
+                write!(f, "not an index payload: bad magic {magic:#010x}")
+            }
+            StoreDecodeError::UnsupportedVersion(version) => {
+                write!(f, "unsupported index payload version {version}")
             }
         }
     }

@@ -1,0 +1,188 @@
+//! Pruning spaces: which plugin distances admit exact triangle bounds.
+//!
+//! The index prunes a candidate `x` when a lower bound on `d(q,x)` built
+//! from centroid distances already exceeds the current k-th best. That
+//! bound is the triangle inequality, so it needs a *metric* — and the
+//! paper's whole point is that not every variant has one:
+//!
+//! * **Euclidean** (`original`): the raw kernel distance is a metric.
+//!   Bounds are computed directly on raw values.
+//! * **Lorentz** (`lh-vanilla` / `lh-cosh`): the raw kernel distance
+//!   `|⟨a,b⟩_L| − β` is *not* a metric — it equals `β(cosh(ρ/√β) − 1)`
+//!   for hyperboloid points at geodesic distance `ρ`, a convex function
+//!   of `ρ`, and convex increasing transforms break the triangle
+//!   inequality. But `θ = arccosh(1 + raw/β) = ρ/√β` *is* a metric (the
+//!   scaled geodesic), and the map raw → θ is strictly monotone, so
+//!   top-k order is unchanged and all bound arithmetic can happen in
+//!   θ-space. This assumes rows lie on the hyperboloid `H(β)`, which the
+//!   projection guarantees for every store the models emit.
+//! * **Fused** (`fusion-dist`): the per-pair fusion ratio α makes the
+//!   distance non-metric with no monotone repair (Table I of the paper
+//!   measures exactly these violations), so [`BoundSpace::None`] — the
+//!   index serves it with a probe budget instead of exact pruning.
+//!
+//! Exactness under floating point: kernel distances are f32 with bounded
+//! rounding error, so every prune decision pads its threshold with
+//! [`BoundSpace::slack`] — a conservative bound on the accumulated error
+//! of the three distances entering one triangle-inequality application.
+//! A slack-padded prune can only *keep* a candidate the infinite-precision
+//! bound would have dropped, never drop one the flat scan would return,
+//! so indexed results stay bit-identical to the flat scan while the lost
+//! prune rate is a few ulps' worth.
+
+use crate::config::PluginVariant;
+
+/// The space in which triangle-inequality bounds are evaluated for one
+/// plugin variant, or [`BoundSpace::None`] when the variant's distance
+/// admits no exact bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundSpace {
+    /// Raw kernel distance is itself a metric.
+    Euclidean,
+    /// Bounds evaluated on `θ = arccosh(1 + raw/β)`, the scaled geodesic.
+    LorentzGeodesic {
+        /// Curvature parameter of `H(β)`.
+        beta: f64,
+    },
+    /// Non-metric distance: no admissible bound, probe-budget serving only.
+    None,
+}
+
+impl BoundSpace {
+    /// The bound space of a plugin variant.
+    pub fn for_variant(variant: PluginVariant, beta: f32) -> Self {
+        match variant {
+            PluginVariant::Original => BoundSpace::Euclidean,
+            PluginVariant::LorentzVanilla | PluginVariant::LorentzCosh => {
+                BoundSpace::LorentzGeodesic { beta: beta as f64 }
+            }
+            PluginVariant::FusionDist => BoundSpace::None,
+        }
+    }
+
+    /// Whether exact triangle-inequality pruning is available.
+    pub fn is_metric(&self) -> bool {
+        !matches!(self, BoundSpace::None)
+    }
+
+    /// Maps a raw kernel distance into the bound space (strictly
+    /// monotone, so raw-space top-k order is preserved). Non-finite
+    /// inputs map to non-finite outputs, which every prune comparison
+    /// treats as "cannot prune".
+    #[inline]
+    pub fn map(&self, raw: f64) -> f64 {
+        match *self {
+            BoundSpace::Euclidean | BoundSpace::None => raw,
+            BoundSpace::LorentzGeodesic { beta } => {
+                // f32 rounding can push an on-hyperboloid self-distance a
+                // hair below zero; clamp so acosh stays defined. NaN
+                // passes through (NaN.max(0.0) is 0.0 in Rust, which
+                // would silently *enable* pruning on a poisoned value —
+                // keep NaN NaN instead so pruning fails open).
+                if raw.is_nan() {
+                    return f64::NAN;
+                }
+                (1.0 + raw.max(0.0) / beta).acosh()
+            }
+        }
+    }
+
+    /// Relative f32-kernel rounding bound for one distance evaluation
+    /// over `dim`-wide rows: each of the ~`dim` fused multiply-adds (plus
+    /// the reduction tail) rounds at `f32::EPSILON`, padded by a safety
+    /// factor of 8 for the square root / abs tails and the f64 transform.
+    fn rel(dim: usize) -> f64 {
+        (dim as f64 + 4.0) * f32::EPSILON as f64 * 8.0
+    }
+
+    /// Conservative threshold padding for one triangle-inequality prune
+    /// decision involving bound-space magnitudes `a`, `b`, and `c`
+    /// (typically query→centroid, centroid→member (or cell radius), and
+    /// the current k-th best).
+    ///
+    /// Euclidean: the error of each f32 distance is `rel·value`, so the
+    /// padding is `rel·(a+b+c)`. θ-space: a relative raw error `rel`
+    /// becomes at most `2√rel + 2·rel·θ` in θ (the `√` term dominates
+    /// near θ = 0 where `θ ≈ √(2·raw/β)` amplifies absolute error, the
+    /// linear term covers the large-θ regime where `dθ/draw → 1/(β·sinhθ)`
+    /// decays), summed over the three mapped values.
+    #[inline]
+    pub fn slack(&self, dim: usize, a: f64, b: f64, c: f64) -> f64 {
+        let rel = Self::rel(dim);
+        match self {
+            BoundSpace::Euclidean | BoundSpace::None => rel * (a + b + c) + 1e-12,
+            BoundSpace::LorentzGeodesic { .. } => {
+                3.0 * 2.0 * rel.sqrt() + 2.0 * rel * (a + b + c) + 1e-12
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_mapping() {
+        assert_eq!(
+            BoundSpace::for_variant(PluginVariant::Original, 1.0),
+            BoundSpace::Euclidean
+        );
+        for v in [PluginVariant::LorentzVanilla, PluginVariant::LorentzCosh] {
+            assert_eq!(
+                BoundSpace::for_variant(v, 2.0),
+                BoundSpace::LorentzGeodesic { beta: 2.0 }
+            );
+        }
+        assert_eq!(
+            BoundSpace::for_variant(PluginVariant::FusionDist, 1.0),
+            BoundSpace::None
+        );
+        assert!(BoundSpace::Euclidean.is_metric());
+        assert!(!BoundSpace::None.is_metric());
+    }
+
+    #[test]
+    fn lorentz_map_is_monotone_and_clamps() {
+        let s = BoundSpace::LorentzGeodesic { beta: 1.0 };
+        let vals = [-1e-6, 0.0, 1e-9, 0.01, 0.5, 1.0, 10.0, 1e6];
+        let mapped: Vec<f64> = vals.iter().map(|&v| s.map(v)).collect();
+        for w in mapped.windows(2) {
+            assert!(w[0] <= w[1], "map must be monotone: {mapped:?}");
+        }
+        assert_eq!(s.map(-5.0), 0.0, "negative raw clamps to θ = 0");
+        assert!(s.map(f64::NAN).is_nan(), "NaN must fail open, not clamp");
+    }
+
+    /// The θ-space error bound in `slack` must dominate the true
+    /// perturbation of the map for relative raw errors up to `rel(dim)`.
+    #[test]
+    fn lorentz_slack_dominates_true_map_error() {
+        let beta = 1.0;
+        let s = BoundSpace::LorentzGeodesic { beta };
+        for dim in [1usize, 16, 256] {
+            let rel = (dim as f64 + 4.0) * f32::EPSILON as f64 * 8.0;
+            for raw in [0.0, 1e-8, 1e-4, 0.01, 0.3, 1.0, 5.0, 100.0] {
+                let theta = s.map(raw);
+                // Perturb raw by the full relative error of the kernel
+                // (scale includes the β-sized inner-product magnitude).
+                let perturbed = s.map(raw + rel * (raw + 2.0 * beta));
+                let true_err = perturbed - theta;
+                let budget = s.slack(dim, theta, 0.0, 0.0);
+                assert!(
+                    true_err <= budget,
+                    "dim={dim} raw={raw}: err {true_err} > slack {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_slack_scales_with_magnitudes() {
+        let s = BoundSpace::Euclidean;
+        assert_eq!(s.map(3.25), 3.25);
+        let small = s.slack(16, 1.0, 1.0, 1.0);
+        let large = s.slack(16, 1e3, 1e3, 1e3);
+        assert!(small > 0.0 && large > 500.0 * small);
+    }
+}

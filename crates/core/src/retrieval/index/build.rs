@@ -1,0 +1,329 @@
+//! Cell construction: deterministic k-means-style partitioning of an
+//! [`EmbeddingStore`] into pivot cells.
+//!
+//! The build is classic IVF training with the workspace's determinism
+//! conventions (`total_cmp` + lowest-index tie-breaks everywhere):
+//!
+//! 1. take a deterministic pseudo-random training sample via a splitmix64
+//!    index stream (quantizer quality needs a sample, not the full store —
+//!    standard IVF practice; *strided* sampling is avoided because it
+//!    aliases catastrophically with any periodicity in row order, e.g.
+//!    round-robin-by-source ingestion);
+//! 2. seed centroids by farthest-point (maxmin) selection over the
+//!    sample, the DITA-style "spread the pivots" heuristic transplanted
+//!    from trajectory space to embedding space;
+//! 3. refine with a few Lloyd iterations on the sample (assign to the
+//!    nearest centroid under the *model's own kernel distance*, then
+//!    re-average — hyperbolic centroids are re-lifted onto `H(β)` so the
+//!    geodesic bound space stays valid);
+//! 4. assign every store row to its nearest final centroid (parallel),
+//!    recording the bound-space centroid distance the query path prunes
+//!    with.
+//!
+//! Assignment uses raw kernel distances; for Lorentz variants the
+//! bound-space map is monotone, so "nearest by raw" and "nearest by
+//! geodesic" agree.
+
+use super::super::kernel;
+use super::super::store::EmbeddingStore;
+use super::bound::BoundSpace;
+use traj_core::parallel::{default_threads, parallel_map};
+
+/// Build-time knobs for [`super::IndexedStore::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexParams {
+    /// Number of cells; `None` picks `⌈√n⌉` (clamped to `[1, n]`), the
+    /// classic IVF balance between the centroid scan and cell scans.
+    pub n_cells: Option<usize>,
+    /// Training-sample cap for seeding and Lloyd refinement.
+    pub train_sample: usize,
+    /// Lloyd refinement iterations over the sample.
+    pub lloyd_iters: usize,
+    /// Seed for the deterministic sample/seeding choices.
+    pub seed: u64,
+}
+
+impl Default for IndexParams {
+    fn default() -> Self {
+        IndexParams {
+            n_cells: None,
+            train_sample: 16_384,
+            lloyd_iters: 2,
+            seed: 0x1df,
+        }
+    }
+}
+
+impl IndexParams {
+    /// Resolved cell count for a store of `n` rows.
+    pub fn cells_for(&self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        self.n_cells
+            .unwrap_or_else(|| (n as f64).sqrt().ceil() as usize)
+            .clamp(1, n)
+    }
+}
+
+/// Output of the partitioning pass.
+pub(crate) struct BuiltCells {
+    /// One centroid row per cell, same variant/layout as the store.
+    pub centroids: EmbeddingStore,
+    /// Member row ids per cell, ascending.
+    pub members: Vec<Vec<u32>>,
+    /// Bound-space member→centroid distance, parallel to `members`.
+    pub dcx: Vec<Vec<f64>>,
+}
+
+/// Mean of a set of store rows, pushed as one centroid row. Sums are f64
+/// (Neumaier is overkill for ≤ a few thousand members); the hyperbolic
+/// mean averages the spatial components and re-lifts the time component
+/// onto `H(β)` so the centroid is a genuine hyperboloid point — required
+/// for the geodesic triangle bound to hold at the centroid.
+fn push_mean_row(out: &mut EmbeddingStore, store: &EmbeddingStore, rows: &[u32]) {
+    let dim = store.dim();
+    let inv = 1.0 / rows.len().max(1) as f64;
+    fn mean<'a>(
+        rows: &[u32],
+        width: usize,
+        inv: f64,
+        row_of: impl Fn(usize) -> &'a [f32],
+    ) -> Vec<f32> {
+        let mut acc = vec![0.0f64; width];
+        for &r in rows {
+            for (a, &v) in acc.iter_mut().zip(row_of(r as usize)) {
+                *a += v as f64;
+            }
+        }
+        acc.into_iter().map(|a| (a * inv) as f32).collect()
+    }
+    let eu = mean(rows, dim, inv, |r| store.eu_row(r));
+    let hyper = store.variant().uses_hyperbolic().then(|| {
+        let spatial = mean(rows, dim, inv, |r| &store.hyper_row(r)[1..]);
+        let nsq: f32 = spatial.iter().map(|v| v * v).sum();
+        let mut h = vec![(nsq + store.beta()).sqrt()];
+        h.extend_from_slice(&spatial);
+        h
+    });
+    let factors = store
+        .factor_dim()
+        .map(|f| mean(rows, 2 * f, inv, |r| store.factor_row(r)));
+    out.push(&eu, hyper.as_deref(), factors.as_deref());
+}
+
+/// Empty store with the same layout as `store`, ready for centroid rows.
+fn centroid_store(store: &EmbeddingStore) -> EmbeddingStore {
+    EmbeddingStore::new(
+        store.dim(),
+        store.variant(),
+        store.beta(),
+        store.factor_dim(),
+    )
+}
+
+/// Nearest centroid of `row`: `(cell, raw kernel distance)`, ties to the
+/// lowest cell id (the `TopK` convention).
+fn nearest(centroids: &EmbeddingStore, store: &EmbeddingStore, row: usize) -> (usize, f64) {
+    kernel::scan_topk(centroids, store, row, 1).into_sorted()[0]
+}
+
+/// Partitions `store` into cells per `params`; see the module docs.
+pub(crate) fn build_cells(
+    store: &EmbeddingStore,
+    space: &BoundSpace,
+    params: &IndexParams,
+) -> BuiltCells {
+    let n = store.len();
+    let n_cells = params.cells_for(n);
+    if n == 0 {
+        return BuiltCells {
+            centroids: centroid_store(store),
+            members: Vec::new(),
+            dcx: Vec::new(),
+        };
+    }
+    assert!(
+        n <= u32::MAX as usize,
+        "index supports at most 2^32 - 1 rows"
+    );
+
+    // Deterministic training sample. Exhaustive when the store fits the
+    // budget; otherwise a splitmix64 index stream — pseudo-random, so it
+    // cannot alias with periodic row order the way a strided sample does
+    // (duplicates are possible and harmless: they only reweight means).
+    let sample_len = n.min(params.train_sample.max(n_cells)).max(1);
+    let sample: Vec<u32> = if sample_len == n {
+        (0..n as u32).collect()
+    } else {
+        (0..sample_len as u64)
+            .map(|i| {
+                let mut z = params
+                    .seed
+                    .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z ^ (z >> 31)) % n as u64) as u32
+            })
+            .collect()
+    };
+
+    // Farthest-point seeding over the sample.
+    let mut centroids = centroid_store(store);
+    let first = sample[(params.seed % sample_len as u64) as usize];
+    push_mean_row(&mut centroids, store, &[first]);
+    let mut mindist = vec![f64::INFINITY; sample_len];
+    for j in 1..n_cells {
+        for (si, &row) in sample.iter().enumerate() {
+            let d = kernel::distance_one(&centroids, store, row as usize, j - 1) as f64;
+            if d.total_cmp(&mindist[si]).is_lt() {
+                mindist[si] = d;
+            }
+        }
+        let (far, _) = sample
+            .iter()
+            .enumerate()
+            .map(|(si, &row)| (row, mindist[si]))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("non-empty sample");
+        push_mean_row(&mut centroids, store, &[far]);
+    }
+
+    // Lloyd refinement on the sample.
+    for _ in 0..params.lloyd_iters {
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); n_cells];
+        let assigned = parallel_map(sample_len, default_threads(sample_len), |si| {
+            nearest(&centroids, store, sample[si] as usize).0
+        });
+        for (si, cell) in assigned.into_iter().enumerate() {
+            groups[cell].push(sample[si]);
+        }
+        let mut refined = centroid_store(store);
+        for (j, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                // Keep the previous centroid: deterministic, and the cell
+                // simply ends up empty if nothing assigns to it below.
+                push_mean_row(&mut refined, &centroids, &[j as u32]);
+            } else {
+                push_mean_row(&mut refined, store, group);
+            }
+        }
+        centroids = refined;
+    }
+
+    // Full assignment against the final centroids, recording the
+    // bound-space centroid distance each member will be pruned with.
+    let assigned: Vec<(u32, f64)> = parallel_map(n, default_threads(n), |i| {
+        let (cell, raw) = nearest(&centroids, store, i);
+        (cell as u32, space.map(raw))
+    });
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_cells];
+    let mut dcx: Vec<Vec<f64>> = vec![Vec::new(); n_cells];
+    for (i, (cell, d)) in assigned.into_iter().enumerate() {
+        members[cell as usize].push(i as u32);
+        dcx[cell as usize].push(d);
+    }
+    BuiltCells {
+        centroids,
+        members,
+        dcx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::super::store::tests::store_with_rows;
+    use super::*;
+    use crate::config::PluginVariant;
+
+    #[test]
+    fn default_cell_count_is_sqrt_n() {
+        let p = IndexParams::default();
+        assert_eq!(p.cells_for(0), 0);
+        assert_eq!(p.cells_for(1), 1);
+        assert_eq!(p.cells_for(100), 10);
+        assert_eq!(p.cells_for(101), 11);
+        let fixed = IndexParams {
+            n_cells: Some(64),
+            ..IndexParams::default()
+        };
+        assert_eq!(fixed.cells_for(1000), 64);
+        assert_eq!(fixed.cells_for(10), 10, "cells clamp to n");
+    }
+
+    #[test]
+    fn cells_partition_all_rows() {
+        for variant in PluginVariant::ABLATION {
+            let s = store_with_rows(variant);
+            let space = BoundSpace::for_variant(variant, s.beta());
+            for n_cells in 1..=3 {
+                let built = build_cells(
+                    &s,
+                    &space,
+                    &IndexParams {
+                        n_cells: Some(n_cells),
+                        ..IndexParams::default()
+                    },
+                );
+                assert_eq!(built.centroids.len(), n_cells);
+                let mut all: Vec<u32> = built.members.iter().flatten().copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, vec![0, 1, 2], "{} cells={n_cells}", variant.name());
+                for (m, d) in built.members.iter().zip(&built.dcx) {
+                    assert_eq!(m.len(), d.len());
+                    assert!(m.windows(2).all(|w| w[0] < w[1]), "members ascending");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let s = store_with_rows(PluginVariant::FusionDist);
+        let space = BoundSpace::for_variant(PluginVariant::FusionDist, 1.0);
+        let p = IndexParams {
+            n_cells: Some(2),
+            ..IndexParams::default()
+        };
+        let a = build_cells(&s, &space, &p);
+        let b = build_cells(&s, &space, &p);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.members, b.members);
+        let bits = |v: &Vec<Vec<f64>>| -> Vec<Vec<u64>> {
+            v.iter()
+                .map(|c| c.iter().map(|d| d.to_bits()).collect())
+                .collect()
+        };
+        assert_eq!(bits(&a.dcx), bits(&b.dcx));
+    }
+
+    #[test]
+    fn hyperbolic_centroids_stay_on_hyperboloid() {
+        let s = store_with_rows(PluginVariant::LorentzCosh);
+        let space = BoundSpace::for_variant(PluginVariant::LorentzCosh, 1.0);
+        let built = build_cells(
+            &s,
+            &space,
+            &IndexParams {
+                n_cells: Some(2),
+                ..IndexParams::default()
+            },
+        );
+        for j in 0..built.centroids.len() {
+            let h = built.centroids.hyper_row(j);
+            let nsq: f32 = h[1..].iter().map(|v| v * v).sum();
+            assert!(
+                (h[0] * h[0] - (nsq + 1.0)).abs() < 1e-4,
+                "centroid {j} off H(β): {h:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_store_builds_empty_index() {
+        let s = EmbeddingStore::new(3, PluginVariant::Original, 1.0, None);
+        let built = build_cells(&s, &BoundSpace::Euclidean, &IndexParams::default());
+        assert!(built.members.is_empty());
+        assert!(built.centroids.is_empty());
+    }
+}

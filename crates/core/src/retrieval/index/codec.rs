@@ -1,0 +1,365 @@
+//! Binary (de)serialization of a built [`IndexedStore`].
+//!
+//! Wire layout (all little-endian), following the `retrieval::codec`
+//! conventions — validate before every read, cross-check structure after:
+//!
+//! ```text
+//! u32 magic "LHIX" | u32 version (= 1)
+//! u64 store_len    | store payload    (EmbeddingStore::to_bytes)
+//! u64 centroid_len | centroid payload (EmbeddingStore::to_bytes)
+//! u64 n_cells
+//! per cell: u64 m | m × u32 members | m × f64 dcx
+//! ```
+//!
+//! Cell radii are *recomputed* from the decoded `dcx` arrays rather than
+//! persisted — one derived quantity fewer to corrupt, and the recompute is
+//! the same `max_by(total_cmp)` the builder uses, so a roundtripped index
+//! answers queries bit-identically to the one that was encoded. The probe
+//! budget is serving configuration, not index state, and is not persisted.
+//!
+//! Structural validation on decode: magic and version, nested store
+//! payloads (delegated to [`EmbeddingStore::from_bytes`]), centroid
+//! row-count/layout consistency with the header, every member id in
+//! range, no duplicate members, and full coverage (the cells partition
+//! exactly the store's rows). Truncated or corrupt payloads return a
+//! [`StoreDecodeError`], never panic.
+
+use super::super::codec::StoreDecodeError;
+use super::super::store::EmbeddingStore;
+use super::{IndexCell, IndexedStore};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// `LHIX` in little-endian byte order.
+const MAGIC: u32 = u32::from_le_bytes(*b"LHIX");
+const VERSION: u32 = 1;
+
+/// Checks `needed` bytes remain before a read.
+fn guard(data: &Bytes, field: &'static str, needed: usize) -> Result<(), StoreDecodeError> {
+    let remaining = data.remaining();
+    if remaining < needed {
+        return Err(StoreDecodeError::Truncated {
+            field,
+            needed,
+            remaining,
+        });
+    }
+    Ok(())
+}
+
+fn take_u64(data: &mut Bytes, field: &'static str) -> Result<u64, StoreDecodeError> {
+    guard(data, field, 8)?;
+    Ok(data.get_u64_le())
+}
+
+/// Reads `len` raw bytes as an owned chunk (for nested store payloads).
+fn take_chunk(
+    data: &mut Bytes,
+    field: &'static str,
+    len: usize,
+) -> Result<Vec<u8>, StoreDecodeError> {
+    guard(data, field, len)?;
+    let out = data.as_slice()[..len].to_vec();
+    data.advance(len);
+    Ok(out)
+}
+
+/// Reads a nested length-prefixed [`EmbeddingStore`] payload.
+fn take_store(data: &mut Bytes, field: &'static str) -> Result<EmbeddingStore, StoreDecodeError> {
+    let len = take_u64(data, field)? as usize;
+    let chunk = take_chunk(data, field, len)?;
+    EmbeddingStore::from_bytes(Bytes::from(chunk))
+}
+
+impl IndexedStore {
+    /// Compact binary serialization of the store plus its index.
+    pub fn to_bytes(&self) -> Bytes {
+        let store_payload = self.store.to_bytes();
+        let centroid_payload = self.centroids.to_bytes();
+        let cell_bytes: usize = self
+            .cells
+            .iter()
+            .map(|c| 8 + c.members.len() * (4 + 8))
+            .sum();
+        let mut buf =
+            BytesMut::with_capacity(32 + store_payload.len() + centroid_payload.len() + cell_bytes);
+        buf.put_u32_le(MAGIC);
+        buf.put_u32_le(VERSION);
+        for payload in [&store_payload, &centroid_payload] {
+            buf.put_u64_le(payload.len() as u64);
+            buf.put_slice(payload.as_slice());
+        }
+        buf.put_u64_le(self.cells.len() as u64);
+        for cell in &self.cells {
+            buf.put_u64_le(cell.members.len() as u64);
+            for &m in &cell.members {
+                buf.put_u32_le(m);
+            }
+            for &d in &cell.dcx {
+                buf.put_f64_le(d);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Inverse of [`IndexedStore::to_bytes`]. Truncated or structurally
+    /// inconsistent payloads return a [`StoreDecodeError`].
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, StoreDecodeError> {
+        guard(&data, "index magic", 4)?;
+        let magic = data.get_u32_le();
+        if magic != MAGIC {
+            return Err(StoreDecodeError::BadMagic(magic));
+        }
+        guard(&data, "index version", 4)?;
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(StoreDecodeError::UnsupportedVersion(version));
+        }
+        let store = take_store(&mut data, "index store")?;
+        let centroids = take_store(&mut data, "index centroids")?;
+        let n_cells = take_u64(&mut data, "n_cells")? as usize;
+
+        if centroids.len() != n_cells {
+            return Err(StoreDecodeError::Inconsistent {
+                field: "n_cells",
+                expected: n_cells,
+                actual: centroids.len(),
+            });
+        }
+        // Centroids must share the store's layout: the query path binds
+        // the same kernels against both.
+        if centroids.variant() != store.variant()
+            || centroids.dim() != store.dim()
+            || centroids.beta().to_bits() != store.beta().to_bits()
+            || centroids.factor_dim() != store.factor_dim()
+        {
+            return Err(StoreDecodeError::Inconsistent {
+                field: "centroid layout",
+                expected: store.dim(),
+                actual: centroids.dim(),
+            });
+        }
+
+        let n = store.len();
+        let mut seen = vec![false; n];
+        let mut total = 0usize;
+        let mut cells = Vec::with_capacity(n_cells.min(1 << 20));
+        for _ in 0..n_cells {
+            let m = take_u64(&mut data, "cell members")? as usize;
+            let member_bytes = m.checked_mul(4).ok_or(StoreDecodeError::HeaderOverflow {
+                field: "cell members",
+            })?;
+            let raw_members = take_chunk(&mut data, "cell members", member_bytes)?;
+            let members: Vec<u32> = raw_members
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            let dcx_bytes = m
+                .checked_mul(8)
+                .ok_or(StoreDecodeError::HeaderOverflow { field: "cell dcx" })?;
+            let raw_dcx = take_chunk(&mut data, "cell dcx", dcx_bytes)?;
+            let dcx: Vec<f64> = raw_dcx
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+                .collect();
+            for &member in &members {
+                let mi = member as usize;
+                if mi >= n {
+                    return Err(StoreDecodeError::Inconsistent {
+                        field: "cell member id",
+                        expected: n,
+                        actual: mi,
+                    });
+                }
+                if seen[mi] {
+                    return Err(StoreDecodeError::Inconsistent {
+                        field: "duplicate cell member",
+                        expected: 1,
+                        actual: 2,
+                    });
+                }
+                seen[mi] = true;
+            }
+            total += members.len();
+            cells.push(IndexCell::new(members, dcx));
+        }
+        if total != n {
+            return Err(StoreDecodeError::Inconsistent {
+                field: "cell member total",
+                expected: n,
+                actual: total,
+            });
+        }
+        if !data.is_empty() {
+            return Err(StoreDecodeError::TrailingBytes(data.remaining()));
+        }
+        Ok(IndexedStore::from_parts(store, centroids, cells))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::super::store::tests::store_with_rows;
+    use super::super::super::store::RetrievalResult;
+    use super::super::build::IndexParams;
+    use super::*;
+    use crate::config::PluginVariant;
+
+    fn built(variant: PluginVariant, cells: usize) -> IndexedStore {
+        IndexedStore::build(
+            store_with_rows(variant),
+            IndexParams {
+                n_cells: Some(cells),
+                ..IndexParams::default()
+            },
+        )
+    }
+
+    fn bits(hits: &[RetrievalResult]) -> Vec<(usize, u32)> {
+        hits.iter()
+            .map(|h| (h.index, h.distance.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_answers() {
+        for variant in PluginVariant::ABLATION {
+            for cells in 1..=3 {
+                let ix = built(variant, cells);
+                let back = IndexedStore::from_bytes(ix.to_bytes()).expect("valid index payload");
+                assert_eq!(back, ix, "{} cells={cells}", variant.name());
+                let q = store_with_rows(variant);
+                for qi in 0..q.len() {
+                    assert_eq!(
+                        bits(&back.knn(&q, qi, 3)),
+                        bits(&ix.knn(&q, qi, 3)),
+                        "{} cells={cells} qi={qi}",
+                        variant.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let s = EmbeddingStore::new(4, PluginVariant::Original, 1.0, None);
+        let ix = IndexedStore::with_default_params(s);
+        let back = IndexedStore::from_bytes(ix.to_bytes()).expect("valid empty index");
+        assert_eq!(back, ix);
+        assert_eq!(back.num_cells(), 0);
+    }
+
+    #[test]
+    fn every_truncation_errors_instead_of_panicking() {
+        let ix = built(PluginVariant::FusionDist, 2);
+        let full = ix.to_bytes().to_vec();
+        for cut in 0..full.len() {
+            let err = IndexedStore::from_bytes(Bytes::from(full[..cut].to_vec()));
+            assert!(err.is_err(), "cut at {cut} of {} must error", full.len());
+        }
+        assert!(IndexedStore::from_bytes(Bytes::from(full)).is_ok());
+    }
+
+    #[test]
+    fn bad_magic_errors() {
+        let mut raw = built(PluginVariant::Original, 2).to_bytes().to_vec();
+        raw[0] ^= 0xFF;
+        let err = IndexedStore::from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(matches!(err, StoreDecodeError::BadMagic(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn unsupported_version_errors() {
+        let mut raw = built(PluginVariant::Original, 2).to_bytes().to_vec();
+        raw[4] = 99;
+        assert_eq!(
+            IndexedStore::from_bytes(Bytes::from(raw)),
+            Err(StoreDecodeError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn corrupt_cell_structures_error() {
+        let store = store_with_rows(PluginVariant::Original);
+        let centroids = {
+            let mut c = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+            c.push(&[0.0, 0.0], None, None);
+            c
+        };
+        // Member id out of range.
+        let out_of_range = IndexedStore::from_parts(
+            store.clone(),
+            centroids.clone(),
+            vec![IndexCell::new(vec![0, 1, 99], vec![0.0, 1.0, 2.0])],
+        );
+        let err = IndexedStore::from_bytes(out_of_range.to_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreDecodeError::Inconsistent {
+                    field: "cell member id",
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        // Duplicate member across cells.
+        let duplicated = IndexedStore::from_parts(
+            store.clone(),
+            centroids.clone(),
+            vec![IndexCell::new(vec![0, 1, 1], vec![0.0, 1.0, 1.0])],
+        );
+        let err = IndexedStore::from_bytes(duplicated.to_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreDecodeError::Inconsistent {
+                    field: "duplicate cell member",
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        // Cells that do not cover every row.
+        let incomplete = IndexedStore::from_parts(
+            store.clone(),
+            centroids.clone(),
+            vec![IndexCell::new(vec![0, 2], vec![0.0, 1.0])],
+        );
+        let err = IndexedStore::from_bytes(incomplete.to_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreDecodeError::Inconsistent {
+                    field: "cell member total",
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        // Centroid layout disagreeing with the store.
+        let wrong_layout = IndexedStore::from_parts(
+            store,
+            store_with_rows(PluginVariant::LorentzCosh),
+            vec![IndexCell::new(vec![0, 1, 2], vec![0.0, 1.0, 2.0])],
+        );
+        let err = IndexedStore::from_bytes(wrong_layout.to_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreDecodeError::Inconsistent { .. } | StoreDecodeError::BadVariantTag(_)
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_error() {
+        let mut raw = built(PluginVariant::LorentzVanilla, 2).to_bytes().to_vec();
+        raw.push(0);
+        assert_eq!(
+            IndexedStore::from_bytes(Bytes::from(raw)),
+            Err(StoreDecodeError::TrailingBytes(1))
+        );
+    }
+}

@@ -1,0 +1,538 @@
+//! The pivot-partitioned ANN index tier: sub-linear exact kNN for metric
+//! variants, budgeted best-effort kNN for the fused distance.
+//!
+//! An [`IndexedStore`] owns one [`EmbeddingStore`] plus an IVF-style
+//! partition of its rows into pivot cells ([`build`]): each cell keeps a
+//! centroid row (served through the same monomorphized
+//! [`DistanceKernel`](super::kernel) machinery as the flat scans), the
+//! bound-space centroid distance of every member, and the cell radius.
+//! A query scans the `√n`-ish centroids, orders cells by their
+//! triangle-inequality lower bound `max(0, d(q,c) − r_cell)`, and then:
+//!
+//! * **metric variants** (Euclidean, Lorentz — see [`bound::BoundSpace`])
+//!   skip every cell whose lower bound exceeds the current k-th best and,
+//!   inside probed cells, every member with `|d(q,c) − d(c,x)| > kth`
+//!   (Schubert-style stored-distance bound). Both bounds are padded by a
+//!   conservative float-rounding slack, so results are **bit-identical**
+//!   to [`EmbeddingStore::knn`] — recall 1.0 by construction, sub-linear
+//!   by pruning;
+//! * **the fused variant** is non-metric (the paper's thesis) and
+//!   forfeits those bounds: it is served by probing the
+//!   [`IndexedStore::probe_budget`] nearest-centroid cells with exact
+//!   re-ranking inside each. With no budget every cell is probed and
+//!   results are again bit-identical (at flat-scan cost); with a budget,
+//!   recall is measured, not guaranteed — the quantified price of
+//!   triangle-inequality violations at serving time.
+//!
+//! Every prune decision fails open on non-finite values (NaN rows poison
+//! bounds into "cannot prune", never into a wrong skip), keeping the
+//! engine's NaN-determinism contract.
+
+pub mod bound;
+pub mod build;
+mod codec;
+
+use super::kernel::{self, DistanceKernel};
+use super::store::{results_from_topk, EmbeddingStore, RetrievalResult};
+use crate::config::PluginVariant;
+use bound::BoundSpace;
+use build::IndexParams;
+use serde::Serialize;
+use traj_core::parallel::{default_threads, parallel_map};
+use traj_core::topk::TopK;
+
+/// One pivot cell: member rows, their bound-space centroid distances,
+/// and the cell radius (max member distance).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct IndexCell {
+    /// Member row ids, ascending.
+    pub members: Vec<u32>,
+    /// Bound-space centroid distance per member, parallel to `members`.
+    pub dcx: Vec<f64>,
+    /// Max of `dcx` (NaN if any member distance is NaN — fails open).
+    pub radius: f64,
+}
+
+impl IndexCell {
+    pub(crate) fn new(members: Vec<u32>, dcx: Vec<f64>) -> Self {
+        let radius = dcx.iter().copied().max_by(f64::total_cmp).unwrap_or(0.0);
+        IndexCell {
+            members,
+            dcx,
+            radius,
+        }
+    }
+}
+
+/// Aggregate probe accounting for one or more indexed queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct ProbeStats {
+    /// Queries served.
+    pub queries: usize,
+    /// Cell-visit opportunities (`num_cells × queries`).
+    pub cells: usize,
+    /// Cells actually scanned.
+    pub cells_probed: usize,
+    /// Cells skipped by the triangle-inequality cell bound.
+    pub cells_pruned: usize,
+    /// Candidate-row opportunities (`len × queries`).
+    pub rows: usize,
+    /// Rows whose kernel distance was evaluated.
+    pub rows_scanned: usize,
+    /// Rows skipped by the stored-centroid-distance member bound.
+    pub rows_pruned: usize,
+}
+
+impl ProbeStats {
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &ProbeStats) {
+        self.queries += other.queries;
+        self.cells += other.cells;
+        self.cells_probed += other.cells_probed;
+        self.cells_pruned += other.cells_pruned;
+        self.rows += other.rows;
+        self.rows_scanned += other.rows_scanned;
+        self.rows_pruned += other.rows_pruned;
+    }
+
+    /// Fraction of candidate rows whose kernel distance was *not*
+    /// evaluated (the headline pruning metric; 0 for a flat scan).
+    pub fn prune_rate(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        1.0 - self.rows_scanned as f64 / self.rows as f64
+    }
+
+    /// Mean cells probed per query.
+    pub fn cells_probed_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.cells_probed as f64 / self.queries as f64
+    }
+}
+
+/// An [`EmbeddingStore`] served through the pivot-partitioned index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedStore {
+    store: EmbeddingStore,
+    centroids: EmbeddingStore,
+    cells: Vec<IndexCell>,
+    space: BoundSpace,
+    probe_budget: Option<usize>,
+}
+
+impl IndexedStore {
+    /// Builds the index over `store` (see [`build`] for the pipeline).
+    pub fn build(store: EmbeddingStore, params: IndexParams) -> Self {
+        let space = BoundSpace::for_variant(store.variant(), store.beta());
+        let built = build::build_cells(&store, &space, &params);
+        let cells = built
+            .members
+            .into_iter()
+            .zip(built.dcx)
+            .map(|(m, d)| IndexCell::new(m, d))
+            .collect();
+        IndexedStore {
+            store,
+            centroids: built.centroids,
+            cells,
+            space,
+            probe_budget: None,
+        }
+    }
+
+    /// [`IndexedStore::build`] with default parameters (`⌈√n⌉` cells).
+    pub fn with_default_params(store: EmbeddingStore) -> Self {
+        Self::build(store, IndexParams::default())
+    }
+
+    /// Reassembles an index from already-built parts (codec path).
+    pub(crate) fn from_parts(
+        store: EmbeddingStore,
+        centroids: EmbeddingStore,
+        cells: Vec<IndexCell>,
+    ) -> Self {
+        let space = BoundSpace::for_variant(store.variant(), store.beta());
+        IndexedStore {
+            store,
+            centroids,
+            cells,
+            space,
+            probe_budget: None,
+        }
+    }
+
+    /// Caps the number of cells probed per query. `None` (the default)
+    /// probes until the exact bound allows stopping — for metric variants
+    /// that keeps results bit-identical to the flat scan; for the fused
+    /// variant it means probing every cell. Setting a budget turns any
+    /// variant into best-effort serving with measured (not guaranteed)
+    /// recall.
+    pub fn with_probe_budget(mut self, budget: Option<usize>) -> Self {
+        self.probe_budget = budget;
+        self
+    }
+
+    /// Configured probe budget.
+    pub fn probe_budget(&self) -> Option<usize> {
+        self.probe_budget
+    }
+
+    /// Whether this configuration guarantees flat-scan-identical results:
+    /// a metric bound space and no probe budget.
+    pub fn is_exact(&self) -> bool {
+        self.space.is_metric() && self.probe_budget.is_none()
+    }
+
+    /// The bound space the index prunes in.
+    pub fn bound_space(&self) -> BoundSpace {
+        self.space
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// Releases the underlying store, discarding the index.
+    pub fn into_store(self) -> EmbeddingStore {
+        self.store
+    }
+
+    /// Total rows.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Number of pivot cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Active plugin variant.
+    pub fn variant(&self) -> PluginVariant {
+        self.store.variant()
+    }
+
+    /// Index overhead on top of the store payload: centroid rows plus
+    /// per-member bookkeeping (the Table V memory accounting).
+    pub fn index_bytes(&self) -> usize {
+        let per_member = std::mem::size_of::<u32>() + std::mem::size_of::<f64>();
+        self.centroids.payload_bytes()
+            + self.len() * per_member
+            + self.cells.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Store payload plus index overhead.
+    pub fn payload_bytes(&self) -> usize {
+        self.store.payload_bytes() + self.index_bytes()
+    }
+
+    /// Top-k for query row `qi` of `queries` through the index.
+    pub fn knn(&self, queries: &EmbeddingStore, qi: usize, k: usize) -> Vec<RetrievalResult> {
+        self.knn_with_stats(queries, qi, k).0
+    }
+
+    /// [`IndexedStore::knn`] plus probe accounting.
+    pub fn knn_with_stats(
+        &self,
+        queries: &EmbeddingStore,
+        qi: usize,
+        k: usize,
+    ) -> (Vec<RetrievalResult>, ProbeStats) {
+        let mut stats = ProbeStats {
+            queries: 1,
+            cells: self.cells.len(),
+            rows: self.store.len(),
+            ..ProbeStats::default()
+        };
+        if k == 0 || self.store.is_empty() {
+            return (Vec::new(), stats);
+        }
+
+        // One O(num_cells · d) centroid scan, then bound-space mapping
+        // and cell ordering by triangle lower bound (raw centroid
+        // distance for the unprunable fused space).
+        let dqc = self.centroids.distance_row_from(queries, qi);
+        let pq: Vec<f64> = dqc.iter().map(|&d| self.space.map(d)).collect();
+        let mut order: Vec<(f64, u32)> = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(j, cell)| {
+                let key = if self.space.is_metric() {
+                    (pq[j] - cell.radius).max(0.0)
+                } else {
+                    pq[j]
+                };
+                (key, j as u32)
+            })
+            .collect();
+        order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let top = match self.store.variant() {
+            PluginVariant::Original => self.probe(
+                &kernel::EuclideanKernel::bind(&self.store, queries, qi),
+                &pq,
+                &order,
+                k,
+                &mut stats,
+            ),
+            PluginVariant::LorentzVanilla | PluginVariant::LorentzCosh => self.probe(
+                &kernel::LorentzKernel::bind(&self.store, queries, qi),
+                &pq,
+                &order,
+                k,
+                &mut stats,
+            ),
+            PluginVariant::FusionDist => self.probe(
+                &kernel::FusedKernel::bind(&self.store, queries, qi),
+                &pq,
+                &order,
+                k,
+                &mut stats,
+            ),
+        };
+        (results_from_topk(top), stats)
+    }
+
+    /// Batched top-k, parallel across queries.
+    pub fn knn_batch(&self, queries: &EmbeddingStore, k: usize) -> Vec<Vec<RetrievalResult>> {
+        self.knn_batch_with_stats(queries, k).0
+    }
+
+    /// [`IndexedStore::knn_batch`] plus aggregated probe accounting.
+    pub fn knn_batch_with_stats(
+        &self,
+        queries: &EmbeddingStore,
+        k: usize,
+    ) -> (Vec<Vec<RetrievalResult>>, ProbeStats) {
+        let nq = queries.len();
+        let per_query: Vec<(Vec<RetrievalResult>, ProbeStats)> =
+            parallel_map(nq, default_threads(nq), |qi| {
+                self.knn_with_stats(queries, qi, k)
+            });
+        let mut stats = ProbeStats::default();
+        let results = per_query
+            .into_iter()
+            .map(|(res, s)| {
+                stats.merge(&s);
+                res
+            })
+            .collect();
+        (results, stats)
+    }
+
+    /// The probe loop, monomorphized per kernel. Visits cells in `order`;
+    /// for metric spaces skips cells/members whose slack-padded triangle
+    /// bound already exceeds the current k-th best (`τ`), re-mapping `τ`
+    /// into bound space lazily (only when the heap's worst survivor
+    /// changes — Lorentz mapping costs an `acosh`).
+    fn probe<K: DistanceKernel>(
+        &self,
+        kern: &K,
+        pq: &[f64],
+        order: &[(f64, u32)],
+        k: usize,
+        stats: &mut ProbeStats,
+    ) -> TopK {
+        let dim = self.store.dim();
+        let metric = self.space.is_metric();
+        let budget = self.probe_budget.unwrap_or(usize::MAX);
+        let mut top = TopK::new(k);
+        // τ in raw space (bit-tracked so NaN updates are seen) and its
+        // bound-space image; ∞ while the heap is not yet full.
+        let mut tau_bits = f64::INFINITY.to_bits();
+        let mut tau_p = f64::INFINITY;
+        for &(lb, j) in order {
+            if stats.cells_probed >= budget {
+                break;
+            }
+            let cell = &self.cells[j as usize];
+            if cell.members.is_empty() {
+                continue;
+            }
+            if top.len() == k {
+                let worst = top.worst().expect("full heap").1;
+                if worst.to_bits() != tau_bits {
+                    tau_bits = worst.to_bits();
+                    tau_p = self.space.map(worst);
+                }
+            }
+            let pqj = pq[j as usize];
+            // Cell bound: every member is at least `lb` away; a NaN bound
+            // or τ compares false and fails open into a probe.
+            if metric && lb > tau_p + self.space.slack(dim, pqj, cell.radius, tau_p) {
+                stats.cells_pruned += 1;
+                continue;
+            }
+            stats.cells_probed += 1;
+            let mut thresh = if metric {
+                tau_p + self.space.slack(dim, pqj, cell.radius, tau_p)
+            } else {
+                f64::INFINITY
+            };
+            for (&m, &dc) in cell.members.iter().zip(&cell.dcx) {
+                // Member bound: d(q,x) ≥ |d(q,c) − d(c,x)|.
+                if metric && (pqj - dc).abs() > thresh {
+                    stats.rows_pruned += 1;
+                    continue;
+                }
+                let d = kern.distance_to(m as usize) as f64;
+                stats.rows_scanned += 1;
+                top.offer(m as usize, d);
+                if top.len() == k {
+                    let worst = top.worst().expect("full heap").1;
+                    if worst.to_bits() != tau_bits {
+                        tau_bits = worst.to_bits();
+                        tau_p = self.space.map(worst);
+                        if metric {
+                            thresh = tau_p + self.space.slack(dim, pqj, cell.radius, tau_p);
+                        }
+                    }
+                }
+            }
+        }
+        top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::store::tests::store_with_rows;
+    use super::*;
+
+    fn bits(hits: &[RetrievalResult]) -> Vec<(usize, u32)> {
+        hits.iter()
+            .map(|h| (h.index, h.distance.to_bits()))
+            .collect()
+    }
+
+    fn params(cells: usize) -> IndexParams {
+        IndexParams {
+            n_cells: Some(cells),
+            ..IndexParams::default()
+        }
+    }
+
+    #[test]
+    fn indexed_matches_flat_scan_all_variants() {
+        for variant in PluginVariant::ABLATION {
+            let s = store_with_rows(variant);
+            for cells in 1..=3 {
+                let ix = IndexedStore::build(s.clone(), params(cells));
+                for k in [0, 1, 2, 3, 10] {
+                    for qi in 0..s.len() {
+                        assert_eq!(
+                            bits(&ix.knn(&s, qi, k)),
+                            bits(&s.knn(&s, qi, k)),
+                            "{} cells={cells} k={k} qi={qi}",
+                            variant.name()
+                        );
+                    }
+                    let (batch, stats) = ix.knn_batch_with_stats(&s, k);
+                    assert_eq!(batch.len(), s.len());
+                    for (qi, hits) in batch.iter().enumerate() {
+                        assert_eq!(bits(hits), bits(&s.knn(&s, qi, k)));
+                    }
+                    assert_eq!(stats.queries, s.len());
+                    assert_eq!(stats.rows, s.len() * s.len());
+                    assert!(stats.rows_scanned + stats.rows_pruned <= stats.rows);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_flags() {
+        let eu = IndexedStore::build(store_with_rows(PluginVariant::Original), params(2));
+        assert!(eu.is_exact());
+        assert!(!eu.clone().with_probe_budget(Some(1)).is_exact());
+        let fu = IndexedStore::build(store_with_rows(PluginVariant::FusionDist), params(2));
+        assert!(!fu.is_exact(), "fused distance admits no exact bound");
+        assert!(!fu.bound_space().is_metric());
+    }
+
+    #[test]
+    fn empty_store_and_zero_k_serve_empty() {
+        let s = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+        let ix = IndexedStore::with_default_params(s);
+        assert!(ix.is_empty());
+        assert_eq!(ix.num_cells(), 0);
+        let mut q = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+        q.push(&[1.0, 2.0], None, None);
+        assert!(ix.knn(&q, 0, 5).is_empty());
+        let with_rows = IndexedStore::build(store_with_rows(PluginVariant::Original), params(2));
+        assert!(with_rows.knn(&q, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn fused_budget_caps_probes() {
+        let s = store_with_rows(PluginVariant::FusionDist);
+        let ix = IndexedStore::build(s.clone(), params(3)).with_probe_budget(Some(1));
+        let (_, stats) = ix.knn_batch_with_stats(&s, 2);
+        assert!(stats.cells_probed <= s.len(), "≤ 1 probe per query");
+        assert!(stats.cells_probed <= stats.queries);
+    }
+
+    #[test]
+    fn nan_rows_fail_open_and_stay_deterministic() {
+        let mut db = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+        db.push(&[0.0, 0.0], None, None);
+        db.push(&[f32::NAN, 1.0], None, None);
+        db.push(&[2.0, 0.0], None, None);
+        db.push(&[f32::INFINITY, 0.0], None, None);
+        db.push(&[1.0, 0.0], None, None);
+        for cells in 1..=4 {
+            let ix = IndexedStore::build(db.clone(), params(cells));
+            for k in [1, 3, 5] {
+                for qi in 0..db.len() {
+                    assert_eq!(
+                        bits(&ix.knn(&db, qi, k)),
+                        bits(&db.knn(&db, qi, k)),
+                        "cells={cells} k={k} qi={qi}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_pruning_on_separated_clusters() {
+        // Two far-apart clusters: querying inside one must prune the
+        // other cell entirely once the heap fills.
+        let mut db = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+        for i in 0..8 {
+            db.push(&[i as f32 * 0.01, 0.0], None, None);
+        }
+        for i in 0..8 {
+            db.push(&[1000.0 + i as f32 * 0.01, 0.0], None, None);
+        }
+        let ix = IndexedStore::build(db.clone(), params(2));
+        let mut q = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+        q.push(&[0.02, 0.0], None, None);
+        let (hits, stats) = ix.knn_batch_with_stats(&q, 4);
+        assert_eq!(bits(&hits[0]), bits(&db.knn(&q, 0, 4)));
+        assert!(
+            stats.prune_rate() > 0.0,
+            "far cluster must be pruned: {stats:?}"
+        );
+        assert_eq!(stats.cells_probed + stats.cells_pruned, stats.cells);
+    }
+
+    #[test]
+    fn payload_accounting_includes_index_overhead() {
+        let s = store_with_rows(PluginVariant::LorentzCosh);
+        let base = s.payload_bytes();
+        let ix = IndexedStore::build(s, params(2));
+        assert!(ix.index_bytes() > 0);
+        assert_eq!(ix.payload_bytes(), base + ix.index_bytes());
+    }
+}

@@ -17,6 +17,12 @@
 //!   owned store (zero-copy), served by the batched
 //!   [`ShardedStore::knn_batch`] API, which fans (query × shard) scans
 //!   across threads via `traj_core::parallel` and merges per-shard heaps;
+//! * [`index`] — [`IndexedStore`]: the pivot-partitioned ANN tier. Cells
+//!   with stored centroid distances and radii give exact (bit-identical,
+//!   recall 1.0) sub-linear kNN via triangle-inequality pruning for
+//!   metric variants, and probe-budgeted best-effort serving for the
+//!   non-metric fused distance — the paper's metric-violation thesis made
+//!   operational at serving time;
 //! * [`codec`] — streaming little-endian payload (de)serialization with
 //!   corruption guards ([`StoreDecodeError`]).
 //!
@@ -26,11 +32,15 @@
 //! path, and `traj_dist::DistanceMatrix::knn_of_row` all agree exactly.
 
 pub mod codec;
+pub mod index;
 pub mod kernel;
 pub mod shard;
 pub mod store;
 
 pub use codec::StoreDecodeError;
+pub use index::bound::BoundSpace;
+pub use index::build::IndexParams;
+pub use index::{IndexedStore, ProbeStats};
 pub use kernel::DistanceKernel;
 pub use shard::{ShardedStore, DEFAULT_SHARD_ROWS};
 pub use store::{EmbeddingStore, RetrievalResult};

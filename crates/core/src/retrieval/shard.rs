@@ -202,6 +202,47 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // the single row lies on H(1): x0 = √2
+    fn knn_batch_edge_cases() {
+        for variant in PluginVariant::ABLATION {
+            let s = store_with_rows(variant);
+            let sh = ShardedStore::new(s.clone(), 2);
+            // k = 0: one empty result per query, never a shorter batch.
+            assert_eq!(sh.knn_batch(&s, 0), vec![Vec::new(); s.len()]);
+            // k ≥ n: all rows for every query, each list fully ordered.
+            let batch = sh.knn_batch(&s, s.len() + 5);
+            assert_eq!(batch.len(), s.len());
+            for hits in &batch {
+                assert_eq!(hits.len(), s.len(), "{}", variant.name());
+                for w in hits.windows(2) {
+                    assert!(w[0].distance.total_cmp(&w[1].distance).is_le());
+                }
+            }
+            // Single-row store: every query gets exactly that row, at any
+            // shard width.
+            let mut single =
+                EmbeddingStore::new(2, variant, 1.0, variant.uses_fusion().then_some(2));
+            single.push(
+                &[1.0, 0.0],
+                variant
+                    .uses_hyperbolic()
+                    .then_some(&[1.41421, 1.0, 0.0][..]),
+                variant.uses_fusion().then_some(&[2.0, 1.0, 0.5, 0.5][..]),
+            );
+            for shard_rows in [1, 16] {
+                let single_sh = ShardedStore::new(single.clone(), shard_rows);
+                let batch = single_sh.knn_batch(&s, 4);
+                assert_eq!(batch.len(), s.len());
+                for hits in &batch {
+                    assert_eq!(hits.len(), 1);
+                    assert_eq!(hits[0].index, 0);
+                }
+                assert_eq!(single_sh.knn_batch(&s, 0), vec![Vec::new(); s.len()]);
+            }
+        }
+    }
+
+    #[test]
     fn store_roundtrips_through_sharding() {
         let s = store_with_rows(PluginVariant::LorentzCosh);
         let sh = ShardedStore::with_default_shards(s.clone());

@@ -254,6 +254,40 @@ pub(crate) mod tests {
     }
 
     #[test]
+    #[allow(clippy::approx_constant)] // the single row lies on H(1): x0 = √2
+    fn knn_edge_cases() {
+        for variant in PluginVariant::ABLATION {
+            let s = store_with_rows(variant);
+            // k = 0: nothing requested, nothing returned.
+            assert!(s.knn(&s, 0, 0).is_empty(), "{}", variant.name());
+            // k ≥ n: every row comes back, fully ordered, no padding.
+            let all = s.knn(&s, 0, s.len() + 5);
+            assert_eq!(all.len(), s.len());
+            for w in all.windows(2) {
+                assert!(w[0].distance.total_cmp(&w[1].distance).is_le());
+            }
+            // Empty store: any query gets an empty result.
+            let empty = EmbeddingStore::new(2, variant, 1.0, variant.uses_fusion().then_some(2));
+            assert!(empty.knn(&s, 0, 3).is_empty());
+            assert!(empty.knn(&s, 0, 0).is_empty());
+            // Single-row store: the one row is the whole answer.
+            let mut single =
+                EmbeddingStore::new(2, variant, 1.0, variant.uses_fusion().then_some(2));
+            single.push(
+                &[1.0, 0.0],
+                variant
+                    .uses_hyperbolic()
+                    .then_some(&[1.41421, 1.0, 0.0][..]),
+                variant.uses_fusion().then_some(&[2.0, 1.0, 0.5, 0.5][..]),
+            );
+            let hits = single.knn(&s, 0, 4);
+            assert_eq!(hits.len(), 1);
+            assert_eq!(hits[0].index, 0);
+            assert!(single.knn(&s, 0, 0).is_empty());
+        }
+    }
+
+    #[test]
     fn knn_deterministic_with_nan_rows() {
         let mut s = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
         s.push(&[0.0, 0.0], None, None);

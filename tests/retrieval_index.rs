@@ -1,0 +1,260 @@
+//! Property-based tests for the pivot-partitioned index tier: indexed
+//! top-k must be byte-identical to the flat scan for every metric plugin
+//! variant across random stores and cell counts; the fused (non-metric)
+//! variant must reach measured recall 1.0 at full probe budget and stay
+//! well-formed (true distances, bounded coverage loss) under a budget;
+//! and the index codec must round-trip exactly while rejecting truncated
+//! payloads with an error instead of a panic.
+
+use bytes::Bytes;
+use lh_repro::plugin::{EmbeddingStore, IndexParams, IndexedStore, PluginVariant, RetrievalResult};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FACTOR_DIM: usize = 3;
+
+/// Metric variants: the ones whose (mapped) distance satisfies the
+/// triangle inequality, hence get exact pruning.
+const METRIC: [PluginVariant; 3] = [
+    PluginVariant::Original,
+    PluginVariant::LorentzVanilla,
+    PluginVariant::LorentzCosh,
+];
+
+/// Builds a store of `n` random rows (valid hyperboloid rows for the
+/// Lorentz component, softplus-positive factor rows) from one seed.
+fn random_store(variant: PluginVariant, n: usize, dim: usize, seed: u64) -> EmbeddingStore {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let beta = 1.0;
+    let mut store = EmbeddingStore::new(
+        dim,
+        variant,
+        beta,
+        variant.uses_fusion().then_some(FACTOR_DIM),
+    );
+    for _ in 0..n {
+        let eu: Vec<f32> = (0..dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+        let nsq: f32 = eu.iter().map(|v| v * v).sum();
+        let mut hy = vec![(nsq + beta).sqrt()];
+        hy.extend_from_slice(&eu);
+        let fa: Vec<f32> = (0..2 * FACTOR_DIM)
+            .map(|_| rng.gen_range(0.01f32..1.0))
+            .collect();
+        store.push(
+            &eu,
+            variant.uses_hyperbolic().then_some(&hy[..]),
+            variant.uses_fusion().then_some(&fa[..]),
+        );
+    }
+    store
+}
+
+fn build(store: EmbeddingStore, n_cells: usize) -> IndexedStore {
+    IndexedStore::build(
+        store,
+        IndexParams {
+            n_cells: Some(n_cells),
+            ..IndexParams::default()
+        },
+    )
+}
+
+/// Bit-exact view of a result list (f32 `==` would treat NaN as unequal).
+fn bits(hits: &[RetrievalResult]) -> Vec<(usize, u32)> {
+    hits.iter()
+        .map(|h| (h.index, h.distance.to_bits()))
+        .collect()
+}
+
+/// Mean id-overlap recall of `got` against the exact `want`.
+fn recall(want: &[Vec<RetrievalResult>], got: &[Vec<RetrievalResult>]) -> f64 {
+    let (mut hit, mut total) = (0usize, 0usize);
+    for (w, g) in want.iter().zip(got) {
+        let truth: std::collections::HashSet<usize> = w.iter().map(|h| h.index).collect();
+        hit += g.iter().filter(|h| truth.contains(&h.index)).count();
+        total += w.len();
+    }
+    if total == 0 {
+        1.0
+    } else {
+        hit as f64 / total as f64
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Indexed top-k ≡ flat-scan top-k — ids and bit-identical distances
+    /// — for every metric variant, across random stores and cell counts.
+    /// This is the tier's exactness contract (recall 1.0 by construction).
+    #[test]
+    fn indexed_matches_flat_topk_for_metric_variants(
+        n in 0usize..50,
+        n_queries in 1usize..4,
+        dim in 1usize..6,
+        n_cells in 1usize..12,
+        k in 0usize..60,
+        seed in 0u64..1_000_000,
+    ) {
+        for variant in METRIC {
+            let db = random_store(variant, n, dim, seed);
+            let queries = random_store(variant, n_queries, dim, seed ^ 0x5eed);
+            let ix = build(db.clone(), n_cells);
+            prop_assert!(ix.is_exact(), "{} must admit exact pruning", variant.name());
+            let batch = ix.knn_batch(&queries, k);
+            prop_assert_eq!(batch.len(), n_queries);
+            for (qi, hits) in batch.iter().enumerate() {
+                let flat = db.knn(&queries, qi, k);
+                prop_assert_eq!(
+                    bits(hits),
+                    bits(&flat),
+                    "{} n={} cells={} k={} qi={}",
+                    variant.name(), n, n_cells, k, qi
+                );
+                prop_assert_eq!(bits(&ix.knn(&queries, qi, k)), bits(&flat));
+            }
+        }
+    }
+
+    /// The fused (non-metric) variant at full probe budget: coverage is
+    /// complete, so results are bit-identical and measured recall is 1.0
+    /// — exactness bought with work instead of triangle bounds.
+    #[test]
+    fn fused_full_budget_reaches_recall_one(
+        n in 0usize..40,
+        n_queries in 1usize..4,
+        dim in 1usize..5,
+        n_cells in 1usize..10,
+        k in 1usize..30,
+        seed in 0u64..1_000_000,
+    ) {
+        let variant = PluginVariant::FusionDist;
+        let db = random_store(variant, n, dim, seed);
+        let queries = random_store(variant, n_queries, dim, seed ^ 0x5eed);
+        let ix = build(db.clone(), n_cells);
+        prop_assert!(!ix.is_exact(), "fused admits no exact bound");
+        let flat: Vec<Vec<RetrievalResult>> = (0..n_queries)
+            .map(|qi| db.knn(&queries, qi, k))
+            .collect();
+        let (indexed, stats) = ix.knn_batch_with_stats(&queries, k);
+        let measured = recall(&flat, &indexed);
+        prop_assert_eq!(measured, 1.0, "full budget must reach recall 1.0");
+        for (got, want) in indexed.iter().zip(&flat) {
+            prop_assert_eq!(bits(got), bits(want));
+        }
+        // And it really was full coverage: nothing pruned, no row skipped.
+        prop_assert_eq!(stats.rows_scanned, stats.rows);
+        prop_assert_eq!(stats.cells_pruned, 0usize);
+    }
+
+    /// Budgeted fused serving stays well-formed: every returned hit
+    /// carries its true fused distance (exact re-rank inside probed
+    /// cells), results are sorted, and recall is measurable (≤ 1).
+    #[test]
+    fn fused_budgeted_serving_returns_true_distances(
+        n in 1usize..40,
+        dim in 1usize..5,
+        n_cells in 1usize..10,
+        budget in 1usize..4,
+        k in 1usize..20,
+        seed in 0u64..1_000_000,
+    ) {
+        let variant = PluginVariant::FusionDist;
+        let db = random_store(variant, n, dim, seed);
+        let queries = random_store(variant, 2, dim, seed ^ 0x5eed);
+        let ix = build(db.clone(), n_cells).with_probe_budget(Some(budget));
+        let flat: Vec<Vec<RetrievalResult>> = (0..queries.len())
+            .map(|qi| db.knn(&queries, qi, k))
+            .collect();
+        let (batch, stats) = ix.knn_batch_with_stats(&queries, k);
+        prop_assert!(stats.cells_probed <= budget * queries.len());
+        let measured = recall(&flat, &batch);
+        prop_assert!((0.0..=1.0).contains(&measured));
+        for (qi, hits) in batch.iter().enumerate() {
+            prop_assert!(hits.len() <= k);
+            for w in hits.windows(2) {
+                prop_assert!(
+                    w[0].distance.total_cmp(&w[1].distance).is_le(),
+                    "results must stay sorted"
+                );
+            }
+            for h in hits {
+                let true_d = db.distance_from(&queries, qi, h.index);
+                prop_assert_eq!(
+                    h.distance.to_bits(),
+                    true_d.to_bits(),
+                    "budgeted hits must carry true distances"
+                );
+            }
+        }
+    }
+
+    /// Index payloads round-trip exactly — same structure, same answers —
+    /// and any strict prefix errors instead of panicking.
+    #[test]
+    fn index_codec_roundtrips_and_rejects_truncation(
+        n in 0usize..30,
+        dim in 1usize..5,
+        n_cells in 1usize..8,
+        seed in 0u64..1_000_000,
+        frac in 0.0f64..1.0,
+    ) {
+        for variant in PluginVariant::ABLATION {
+            let ix = build(random_store(variant, n, dim, seed), n_cells);
+            let payload = ix.to_bytes();
+            let restored = IndexedStore::from_bytes(payload.clone())
+                .expect("freshly encoded index must decode");
+            prop_assert_eq!(&restored, &ix, "{}", variant.name());
+            let queries = random_store(variant, 2, dim, seed ^ 0xc0dec);
+            for qi in 0..queries.len() {
+                prop_assert_eq!(
+                    bits(&restored.knn(&queries, qi, 7)),
+                    bits(&ix.knn(&queries, qi, 7))
+                );
+            }
+            let full = payload.to_vec();
+            let cut = ((full.len() as f64) * frac) as usize;
+            prop_assume!(cut < full.len());
+            let res = IndexedStore::from_bytes(Bytes::from(full[..cut].to_vec()));
+            prop_assert!(res.is_err(), "{} cut={} len={}", variant.name(), cut, full.len());
+        }
+    }
+}
+
+/// Directed check: indexed serving stays deterministic and flat-identical
+/// in the presence of non-finite embedding values (NaN bounds must fail
+/// open into probes, never into wrong prunes).
+#[test]
+fn indexed_is_deterministic_with_nan_embeddings() {
+    let mut db = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+    db.push(&[0.0, 0.0], None, None);
+    db.push(&[f32::NAN, 1.0], None, None);
+    db.push(&[2.0, 0.0], None, None);
+    db.push(&[f32::INFINITY, 0.0], None, None);
+    db.push(&[1.0, 0.0], None, None);
+    for n_cells in 1..=5 {
+        let ix = build(db.clone(), n_cells);
+        let batch = ix.knn_batch(&db, 5);
+        for (qi, hits) in batch.iter().enumerate() {
+            assert_eq!(
+                bits(hits),
+                bits(&db.knn(&db, qi, 5)),
+                "cells={n_cells} qi={qi}"
+            );
+        }
+    }
+}
+
+/// Directed check: single-row and k ≥ n stores serve exactly.
+#[test]
+fn tiny_stores_serve_exactly() {
+    for variant in PluginVariant::ABLATION {
+        let db = random_store(variant, 1, 3, 7);
+        let ix = IndexedStore::with_default_params(db.clone());
+        assert_eq!(ix.num_cells(), 1);
+        let hits = ix.knn(&db, 0, 10);
+        assert_eq!(bits(&hits), bits(&db.knn(&db, 0, 10)), "{}", variant.name());
+        assert_eq!(hits.len(), 1, "k ≥ n returns all rows");
+    }
+}
