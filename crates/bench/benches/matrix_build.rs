@@ -129,6 +129,64 @@ fn bench_pruned_build(c: &mut Criterion) {
         let builder = MatrixBuilder::new(measure).prune(threshold);
         b.iter(|| std::hint::black_box(builder.build_pairwise(&trajs)))
     });
+    // Layered pipeline on DTW: the closest-pair feature gap is capped by
+    // the spatial diameter while DTW sums scale with path length, so at
+    // a distribution-quantile threshold the screen rarely fires here —
+    // print the split so the wall-clock delta has its explanation
+    // attached (the screen pays on metric measures; see the ERP group).
+    let screened = MatrixBuilder::new(measure)
+        .prune_landmark(threshold)
+        .build_pairwise(&trajs);
+    eprintln!(
+        "[matrix_build] dtw landmark_p25: {} of {} pairs screened, {} pruned in total",
+        screened.report.pairs_screened,
+        screened.report.pairs_computed,
+        screened.report.pairs_pruned,
+    );
+    group.bench_function(BenchmarkId::new("landmark_p25", n), |b| {
+        let builder = MatrixBuilder::new(measure).prune_landmark(threshold);
+        b.iter(|| std::hint::black_box(builder.build_pairwise(&trajs)))
+    });
+    group.finish();
+
+    // ERP is a *metric*: the landmark feature is the true ERP distance
+    // to the pivot, so the reverse-triangle gap is commensurate with the
+    // distances themselves and the O(k) screen can reject a
+    // supra-threshold pair before its O(L²) DP starts.
+    let mut group = c.benchmark_group("pairwise_build_erp_pruned");
+    group.sample_size(10);
+    let measure = MeasureKind::Erp.measure();
+    let exact = MatrixBuilder::new(measure).build_pairwise(&trajs);
+    let mut vals: Vec<f64> = exact
+        .matrix
+        .data()
+        .iter()
+        .copied()
+        .filter(|&v| v > 0.0)
+        .collect();
+    vals.sort_by(f64::total_cmp);
+    let threshold = vals[vals.len() / 4];
+    let screened = MatrixBuilder::new(measure)
+        .prune_landmark(threshold)
+        .build_pairwise(&trajs);
+    eprintln!(
+        "[matrix_build] erp landmark_p25: {} of {} pairs screened, {} pruned in total",
+        screened.report.pairs_screened,
+        screened.report.pairs_computed,
+        screened.report.pairs_pruned,
+    );
+    group.bench_function(BenchmarkId::new("exact", n), |b| {
+        let builder = MatrixBuilder::new(measure);
+        b.iter(|| std::hint::black_box(builder.build_pairwise(&trajs)))
+    });
+    group.bench_function(BenchmarkId::new("pruned_p25", n), |b| {
+        let builder = MatrixBuilder::new(measure).prune(threshold);
+        b.iter(|| std::hint::black_box(builder.build_pairwise(&trajs)))
+    });
+    group.bench_function(BenchmarkId::new("landmark_p25", n), |b| {
+        let builder = MatrixBuilder::new(measure).prune_landmark(threshold);
+        b.iter(|| std::hint::black_box(builder.build_pairwise(&trajs)))
+    });
     group.finish();
 }
 

@@ -6,11 +6,13 @@
 //! ANN worst case and would understate every index ever built), serves a
 //! query batch through both `ShardedStore::knn_batch` (exact flat scan)
 //! and `IndexedStore::knn_batch` (pivot cells + triangle-inequality
-//! pruning), verifies the indexed results are bit-identical for exact
+//! pruning, composed with the second-level landmark member bound),
+//! verifies the indexed results are bit-identical for exact
 //! configurations, measures recall for budgeted ones, and appends one
-//! record to `BENCH_retrieval.json` recording QPS, cells probed, and
-//! prune rate per variant — so the metric-vs-fused pruning gap (the
-//! paper's thesis at serving time) is a tracked number, not a vibe.
+//! record to `BENCH_retrieval.json` recording QPS, cells probed, prune
+//! rate, and the landmark bound's marginal prune rate per variant — so
+//! the metric-vs-fused pruning gap (the paper's thesis at serving time)
+//! is a tracked number, not a vibe.
 //!
 //! The fused (non-metric) variant appears twice: at full probe budget
 //! (complete coverage, recall 1.0, no pruning — paying for metric
@@ -167,6 +169,7 @@ fn main() {
         "recall",
         "cells probed",
         "prune rate",
+        "lm prune",
     ]);
     let mut rows_json = Vec::new();
     for &n in &sizes {
@@ -225,6 +228,7 @@ fn main() {
                     indexed.num_cells()
                 ),
                 format!("{:.1}%", stats.prune_rate() * 100.0),
+                format!("{:.1}%", stats.landmark_prune_rate() * 100.0),
             ]);
             rows_json.push(format!(
                 "    {{\"n\": {n}, \"variant\": \"{}\", \"exact\": {}, \
@@ -232,12 +236,15 @@ fn main() {
                  \"speedup\": {speedup:.3}, \"recall\": {measured_recall:.6}, \
                  \"bit_identical\": {identical}, \"cells\": {}, \
                  \"cells_probed_per_query\": {:.3}, \"prune_rate\": {:.6}, \
+                 \"landmarks\": {}, \"landmark_prune_rate\": {:.6}, \
                  \"build_seconds\": {build_seconds:.4}}}",
                 cfg.label,
                 indexed.is_exact(),
                 indexed.num_cells(),
                 stats.cells_probed_per_query(),
                 stats.prune_rate(),
+                indexed.num_landmarks(),
+                stats.landmark_prune_rate(),
             ));
             eprintln!("[retrieval_bench] n={n} {} done", cfg.label);
         }

@@ -7,7 +7,8 @@
 //!
 //! Usage: `cargo run --release -p lh-bench --bin table1_constraint_variability
 //!        [--n 120] [--triplets 20000] [--edr-eps 0.02] [--seed 42]
-//!        [--cache-dir target/gt-cache] [--schedule balanced]`
+//!        [--cache-dir target/gt-cache] [--schedule balanced]
+//!        [--prune landmark|early-abandon] [--prune-threshold 0.25]`
 //!
 //! With `--cache-dir`, each of the 21 ground-truth matrices is
 //! checkpointed; a re-run at the same parameters loads them instead of
@@ -72,12 +73,25 @@ fn main() {
     let seed = args.get("seed", 42u64);
     let cache_dir = args.get_str("cache-dir").map(str::to_string);
     let schedule = match args.get_str("schedule") {
-        Some(name) => Schedule::from_name(name).unwrap_or_else(|| {
-            eprintln!("unknown --schedule {name:?} (serial|row-chunked|balanced|wavefront)");
+        Some(name) => lh_bench::args::parse_schedule(name).unwrap_or_else(|msg| {
+            eprintln!("{msg}");
             std::process::exit(2);
         }),
         None => Schedule::default(),
     };
+    // `--prune landmark` routes every build through the layered landmark
+    // screen + early-abandon pipeline. Checkpoints are fingerprinted
+    // prune-free, so a pruned run against a cache written by an exact run
+    // still hits and returns the exact matrices bit-identically (the CI
+    // smoke test asserts exactly this via the `gt cache hits` line).
+    let prune = args.get_str("prune").map(str::to_string);
+    let prune_threshold = args.get("prune-threshold", 0.25f64);
+    if let Some(mode) = prune.as_deref() {
+        if !matches!(mode, "landmark" | "early-abandon") {
+            eprintln!("unknown --prune {mode:?} (valid: landmark|early-abandon)");
+            std::process::exit(2);
+        }
+    }
 
     // One builder per measure config; tracks cache hits across all 21
     // matrix builds for the summary line (and the CI cache smoke test).
@@ -86,6 +100,11 @@ fn main() {
     let mut gt_seconds = 0.0f64;
     let mut build = |measure: Measure, trajs: &[traj_core::Trajectory]| {
         let mut b = MatrixBuilder::new(measure).schedule(schedule);
+        match prune.as_deref() {
+            Some("landmark") => b = b.prune_landmark(prune_threshold),
+            Some("early-abandon") => b = b.prune(prune_threshold),
+            _ => {}
+        }
         if let Some(dir) = &cache_dir {
             b = b.cache_dir(dir);
         }

@@ -40,13 +40,16 @@ fn main() {
     } else {
         vec![DatasetPreset::Chengdu, DatasetPreset::Porto]
     };
+    // The training-free Landmark encoder rides along as the floor row:
+    // pure pivot featurization, no learned parameters.
     let models = if args.flag("fast") {
-        vec![ModelKind::Traj2SimVec]
+        vec![ModelKind::Traj2SimVec, ModelKind::Landmark]
     } else {
         vec![
             ModelKind::Neutraj,
             ModelKind::TrajGat,
             ModelKind::Traj2SimVec,
+            ModelKind::Landmark,
         ]
     };
     let measures = MeasureKind::SPATIAL;

@@ -27,13 +27,17 @@ fn main() {
         "Table VI",
         "ablation: original / lh-vanilla / lh-cosh / fusion-dist",
     );
+    // The training-free Landmark encoder is the floor row of the
+    // ablation: the plugin's projection/fusion stages are the only
+    // trainable parts on top of its constant featurization.
     let models = if args.flag("fast") {
-        vec![ModelKind::Traj2SimVec]
+        vec![ModelKind::Traj2SimVec, ModelKind::Landmark]
     } else {
         vec![
             ModelKind::Neutraj,
             ModelKind::TrajGat,
             ModelKind::Traj2SimVec,
+            ModelKind::Landmark,
         ]
     };
 

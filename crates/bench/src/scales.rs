@@ -11,7 +11,7 @@ use lh_core::pipeline::ExperimentSpec;
 use lh_core::{PluginConfig, TrainerConfig};
 use lh_data::DatasetPreset;
 use lh_models::{EncoderConfig, ModelKind};
-use traj_dist::{MeasureKind, Schedule};
+use traj_dist::MeasureKind;
 
 use crate::args::Args;
 
@@ -74,10 +74,8 @@ pub fn default_spec(args: &Args) -> ExperimentSpec {
         gt_schedule: args
             .get_str("schedule")
             .map(|name| {
-                Schedule::from_name(name).unwrap_or_else(|| {
-                    eprintln!(
-                        "unknown --schedule {name:?} (serial|row-chunked|balanced|wavefront)"
-                    );
+                crate::args::parse_schedule(name).unwrap_or_else(|msg| {
+                    eprintln!("{msg}");
                     std::process::exit(2);
                 })
             })
@@ -88,6 +86,7 @@ pub fn default_spec(args: &Args) -> ExperimentSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use traj_dist::Schedule;
 
     #[test]
     fn defaults_are_sane() {

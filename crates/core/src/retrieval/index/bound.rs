@@ -116,6 +116,32 @@ impl BoundSpace {
             }
         }
     }
+
+    /// Second-level landmark bound test: whether the stored landmark
+    /// features certify `d(q, x) > tau` in this space.
+    ///
+    /// This is the same mechanism as [`traj_dist::landmark`] transplanted
+    /// from trajectory space into bound space: with `pl[j] = θ(q, l_j)`
+    /// and `flx[j] = θ(l_j, x)` the reverse triangle inequality gives
+    /// `θ(q, x) ≥ |pl[j] − flx[j]|` for every landmark `j` (the Chebyshev
+    /// feature gap, [`traj_dist::landmark::feature_gap`]). The index
+    /// composes this with the centroid triangle bound tightest-wins: a
+    /// member survives only if *no* bound certifies it out.
+    ///
+    /// Each coordinate is padded with its own [`BoundSpace::slack`]
+    /// (tighter than padding the max with worst-case magnitudes), and a
+    /// NaN feature on either side compares false — that coordinate can
+    /// never certify a prune, so poisoned rows fail open exactly like the
+    /// centroid bound. Non-metric spaces never prune.
+    #[inline]
+    pub fn landmark_prunes(&self, dim: usize, pl: &[f64], flx: &[f64], tau: f64) -> bool {
+        if !self.is_metric() {
+            return false;
+        }
+        pl.iter()
+            .zip(flx)
+            .any(|(&q, &x)| (q - x).abs() > tau + self.slack(dim, q, x, tau))
+    }
 }
 
 #[cfg(test)]
@@ -184,5 +210,46 @@ mod tests {
         let small = s.slack(16, 1.0, 1.0, 1.0);
         let large = s.slack(16, 1e3, 1e3, 1e3);
         assert!(small > 0.0 && large > 500.0 * small);
+    }
+
+    /// The landmark prune is the slack-padded form of the shared
+    /// `traj_dist::landmark::feature_gap` bound: it may only fire when the
+    /// unpadded Chebyshev gap already exceeds τ, and never in a
+    /// non-metric space or on NaN-poisoned features.
+    #[test]
+    fn landmark_prune_is_a_padded_feature_gap() {
+        let spaces = [
+            BoundSpace::Euclidean,
+            BoundSpace::LorentzGeodesic { beta: 1.0 },
+        ];
+        let rows: [&[f64]; 4] = [
+            &[0.0, 5.0, 2.0],
+            &[4.0, 5.1, 2.0],
+            &[0.1, 4.9, 7.5],
+            &[1.0, 1.0, 1.0],
+        ];
+        let q = [0.05, 5.0, 2.2];
+        for s in spaces {
+            for flx in rows {
+                for tau in [0.0, 0.5, 3.0, 10.0] {
+                    if s.landmark_prunes(8, &q, flx, tau) {
+                        let gap = traj_dist::landmark::feature_gap(&q, flx);
+                        assert!(gap > tau, "pruned with gap {gap} ≤ τ {tau} ({s:?})");
+                    }
+                }
+            }
+        }
+        assert!(
+            !BoundSpace::None.landmark_prunes(8, &q, &[100.0, 100.0, 100.0], 0.1),
+            "non-metric space must never landmark-prune"
+        );
+        assert!(
+            !BoundSpace::Euclidean.landmark_prunes(8, &[f64::NAN], &[100.0], 0.1),
+            "NaN features fail open"
+        );
+        assert!(
+            BoundSpace::Euclidean.landmark_prunes(8, &[f64::NAN, 0.0], &[1.0, 100.0], 0.1),
+            "a finite coordinate still certifies despite a NaN sibling"
+        );
     }
 }

@@ -41,6 +41,10 @@ pub struct IndexParams {
     pub lloyd_iters: usize,
     /// Seed for the deterministic sample/seeding choices.
     pub seed: u64,
+    /// Second-level landmark rows for the member bound (clamped to `n`;
+    /// `0` disables the block). Only metric bound spaces build it —
+    /// the fused variant has no admissible bound to compose with.
+    pub n_landmarks: usize,
 }
 
 impl Default for IndexParams {
@@ -50,6 +54,7 @@ impl Default for IndexParams {
             train_sample: 16_384,
             lloyd_iters: 2,
             seed: 0x1df,
+            n_landmarks: 4,
         }
     }
 }
@@ -128,6 +133,77 @@ fn nearest(centroids: &EmbeddingStore, store: &EmbeddingStore, row: usize) -> (u
     kernel::scan_topk(centroids, store, row, 1).into_sorted()[0]
 }
 
+/// Deterministic training sample of row ids. Exhaustive when the store
+/// fits the budget; otherwise a splitmix64 index stream — pseudo-random,
+/// so it cannot alias with periodic row order the way a strided sample
+/// does (duplicates are possible and harmless: they only reweight means).
+fn training_sample(n: usize, cap: usize, seed: u64) -> Vec<u32> {
+    let sample_len = n.min(cap).max(1);
+    if sample_len == n {
+        return (0..n as u32).collect();
+    }
+    (0..sample_len as u64)
+        .map(|i| {
+            let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z ^ (z >> 31)) % n as u64) as u32
+        })
+        .collect()
+}
+
+/// Selects the second-level landmark block: `n_landmarks` store rows by
+/// farthest-point (maxmin) selection over the training sample — the same
+/// spread heuristic as centroid seeding, and the embedding-space twin of
+/// `traj_dist::landmark::Landmarks::select` — then records every row's
+/// bound-space distance to each landmark (`dlx`, row-major `n × k`).
+///
+/// Landmarks are actual store rows (copied via the single-row mean, which
+/// re-lifts hyperbolic rows onto `H(β)`), so they are valid points of the
+/// bound space and the reverse triangle inequality holds at them. Only
+/// metric spaces get a block: the fused distance admits no bound.
+pub(crate) fn build_landmarks(
+    store: &EmbeddingStore,
+    space: &BoundSpace,
+    params: &IndexParams,
+) -> Option<super::LandmarkBlock> {
+    let n = store.len();
+    let k = params.n_landmarks.min(n);
+    if !space.is_metric() || k == 0 {
+        return None;
+    }
+    // Decorrelate the landmark sample from the centroid sample: spread
+    // landmarks should not be forced to coincide with centroid seeds.
+    let seed = params.seed ^ 0xA5A5_5A5A_C3C3_3C3C;
+    let sample = training_sample(n, params.train_sample.max(k), seed);
+    let mut rows = centroid_store(store);
+    let first = sample[(seed % sample.len() as u64) as usize];
+    push_mean_row(&mut rows, store, &[first]);
+    let mut mindist = vec![f64::INFINITY; sample.len()];
+    for j in 1..k {
+        for (si, &row) in sample.iter().enumerate() {
+            let d = kernel::distance_one(&rows, store, row as usize, j - 1) as f64;
+            if d.total_cmp(&mindist[si]).is_lt() {
+                mindist[si] = d;
+            }
+        }
+        let (far, _) = sample
+            .iter()
+            .enumerate()
+            .map(|(si, &row)| (row, mindist[si]))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+            .expect("non-empty sample");
+        push_mean_row(&mut rows, store, &[far]);
+    }
+    let per_row: Vec<Vec<f64>> = parallel_map(n, default_threads(n), |i| {
+        (0..k)
+            .map(|j| space.map(kernel::distance_one(&rows, store, i, j) as f64))
+            .collect()
+    });
+    let dlx = per_row.into_iter().flatten().collect();
+    Some(super::LandmarkBlock { rows, dlx })
+}
+
 /// Partitions `store` into cells per `params`; see the module docs.
 pub(crate) fn build_cells(
     store: &EmbeddingStore,
@@ -148,25 +224,9 @@ pub(crate) fn build_cells(
         "index supports at most 2^32 - 1 rows"
     );
 
-    // Deterministic training sample. Exhaustive when the store fits the
-    // budget; otherwise a splitmix64 index stream — pseudo-random, so it
-    // cannot alias with periodic row order the way a strided sample does
-    // (duplicates are possible and harmless: they only reweight means).
-    let sample_len = n.min(params.train_sample.max(n_cells)).max(1);
-    let sample: Vec<u32> = if sample_len == n {
-        (0..n as u32).collect()
-    } else {
-        (0..sample_len as u64)
-            .map(|i| {
-                let mut z = params
-                    .seed
-                    .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                ((z ^ (z >> 31)) % n as u64) as u32
-            })
-            .collect()
-    };
+    // Deterministic training sample (see [`training_sample`]).
+    let sample = training_sample(n, params.train_sample.max(n_cells), params.seed);
+    let sample_len = sample.len();
 
     // Farthest-point seeding over the sample.
     let mut centroids = centroid_store(store);
@@ -325,5 +385,48 @@ mod tests {
         let built = build_cells(&s, &BoundSpace::Euclidean, &IndexParams::default());
         assert!(built.members.is_empty());
         assert!(built.centroids.is_empty());
+        assert!(build_landmarks(&s, &BoundSpace::Euclidean, &IndexParams::default()).is_none());
+    }
+
+    #[test]
+    fn landmark_block_is_deterministic_clamped_and_gated() {
+        let s = store_with_rows(PluginVariant::Original);
+        let space = BoundSpace::for_variant(PluginVariant::Original, 1.0);
+        let p = IndexParams::default();
+        let a = build_landmarks(&s, &space, &p).expect("metric store gets landmarks");
+        let b = build_landmarks(&s, &space, &p).expect("metric store gets landmarks");
+        assert_eq!(a, b, "selection must be deterministic");
+        // 4 requested but only 3 rows: clamped.
+        assert_eq!(a.k(), s.len().min(p.n_landmarks));
+        assert_eq!(a.dlx.len(), s.len() * a.k());
+        assert!(a.dlx.iter().all(|d| d.is_finite() && *d >= 0.0));
+        // Every row's feature vector touches ~0 for the landmark that is
+        // the row itself (landmarks are actual store rows, k = n here).
+        for i in 0..s.len() {
+            let min = a.features(i).iter().copied().fold(f64::INFINITY, f64::min);
+            assert!(min < 1e-3, "row {i} is a landmark, min feature {min}");
+        }
+        // Non-metric space and disabled block both yield none.
+        assert!(build_landmarks(&s, &BoundSpace::None, &p).is_none());
+        let off = IndexParams {
+            n_landmarks: 0,
+            ..IndexParams::default()
+        };
+        assert!(build_landmarks(&s, &space, &off).is_none());
+    }
+
+    #[test]
+    fn hyperbolic_landmarks_stay_on_hyperboloid() {
+        let s = store_with_rows(PluginVariant::LorentzCosh);
+        let space = BoundSpace::for_variant(PluginVariant::LorentzCosh, 1.0);
+        let lm = build_landmarks(&s, &space, &IndexParams::default()).expect("landmarks");
+        for j in 0..lm.k() {
+            let h = lm.rows.hyper_row(j);
+            let nsq: f32 = h[1..].iter().map(|v| v * v).sum();
+            assert!(
+                (h[0] * h[0] - (nsq + 1.0)).abs() < 1e-4,
+                "landmark {j} off H(β): {h:?}"
+            );
+        }
     }
 }

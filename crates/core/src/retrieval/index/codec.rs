@@ -4,12 +4,19 @@
 //! conventions — validate before every read, cross-check structure after:
 //!
 //! ```text
-//! u32 magic "LHIX" | u32 version (= 1)
+//! u32 magic "LHIX" | u32 version (= 2)
 //! u64 store_len    | store payload    (EmbeddingStore::to_bytes)
 //! u64 centroid_len | centroid payload (EmbeddingStore::to_bytes)
 //! u64 n_cells
 //! per cell: u64 m | m × u32 members | m × f64 dcx
+//! u64 k_landmarks                                   (version ≥ 2)
+//! if k > 0: u64 lm_len | landmark payload | n·k × f64 dlx
 //! ```
+//!
+//! Version 2 appends the second-level landmark block
+//! ([`super::LandmarkBlock`]); version-1 payloads (no block) still
+//! decode, as an index without landmarks. Encoding always writes
+//! version 2.
 //!
 //! Cell radii are *recomputed* from the decoded `dcx` arrays rather than
 //! persisted — one derived quantity fewer to corrupt, and the recompute is
@@ -20,18 +27,24 @@
 //! Structural validation on decode: magic and version, nested store
 //! payloads (delegated to [`EmbeddingStore::from_bytes`]), centroid
 //! row-count/layout consistency with the header, every member id in
-//! range, no duplicate members, and full coverage (the cells partition
-//! exactly the store's rows). Truncated or corrupt payloads return a
+//! range, no duplicate members, full coverage (the cells partition
+//! exactly the store's rows), and landmark-block consistency (layout
+//! matches the store, row count matches the header, `n·k` features, and
+//! no block on a non-metric variant — a bound the probe path could never
+//! admissibly use). Truncated or corrupt payloads return a
 //! [`StoreDecodeError`], never panic.
 
 use super::super::codec::StoreDecodeError;
 use super::super::store::EmbeddingStore;
-use super::{IndexCell, IndexedStore};
+use super::bound::BoundSpace;
+use super::{IndexCell, IndexedStore, LandmarkBlock};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// `LHIX` in little-endian byte order.
 const MAGIC: u32 = u32::from_le_bytes(*b"LHIX");
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Landmark-free layout, still accepted on decode.
+const VERSION_NO_LANDMARKS: u32 = 1;
 
 /// Checks `needed` bytes remain before a read.
 fn guard(data: &Bytes, field: &'static str, needed: usize) -> Result<(), StoreDecodeError> {
@@ -80,8 +93,13 @@ impl IndexedStore {
             .iter()
             .map(|c| 8 + c.members.len() * (4 + 8))
             .sum();
-        let mut buf =
-            BytesMut::with_capacity(32 + store_payload.len() + centroid_payload.len() + cell_bytes);
+        let landmark_payload = self.landmarks.as_ref().map(|lm| lm.rows.to_bytes());
+        let landmark_bytes = 8
+            + landmark_payload.as_ref().map_or(0, |p| 8 + p.len())
+            + self.landmarks.as_ref().map_or(0, |lm| lm.dlx.len() * 8);
+        let mut buf = BytesMut::with_capacity(
+            32 + store_payload.len() + centroid_payload.len() + cell_bytes + landmark_bytes,
+        );
         buf.put_u32_le(MAGIC);
         buf.put_u32_le(VERSION);
         for payload in [&store_payload, &centroid_payload] {
@@ -98,6 +116,17 @@ impl IndexedStore {
                 buf.put_f64_le(d);
             }
         }
+        match (&self.landmarks, landmark_payload) {
+            (Some(lm), Some(payload)) => {
+                buf.put_u64_le(lm.k() as u64);
+                buf.put_u64_le(payload.len() as u64);
+                buf.put_slice(payload.as_slice());
+                for &d in &lm.dlx {
+                    buf.put_f64_le(d);
+                }
+            }
+            _ => buf.put_u64_le(0),
+        }
         buf.freeze()
     }
 
@@ -111,7 +140,7 @@ impl IndexedStore {
         }
         guard(&data, "index version", 4)?;
         let version = data.get_u32_le();
-        if version != VERSION {
+        if version != VERSION && version != VERSION_NO_LANDMARKS {
             return Err(StoreDecodeError::UnsupportedVersion(version));
         }
         let store = take_store(&mut data, "index store")?;
@@ -189,10 +218,57 @@ impl IndexedStore {
                 actual: total,
             });
         }
+        let landmarks = if version >= VERSION {
+            let k = take_u64(&mut data, "landmark count")? as usize;
+            if k == 0 {
+                None
+            } else {
+                let space = BoundSpace::for_variant(store.variant(), store.beta());
+                if !space.is_metric() {
+                    return Err(StoreDecodeError::Inconsistent {
+                        field: "landmark block on non-metric variant",
+                        expected: 0,
+                        actual: k,
+                    });
+                }
+                let rows = take_store(&mut data, "landmark rows")?;
+                if rows.len() != k {
+                    return Err(StoreDecodeError::Inconsistent {
+                        field: "landmark count",
+                        expected: k,
+                        actual: rows.len(),
+                    });
+                }
+                if rows.variant() != store.variant()
+                    || rows.dim() != store.dim()
+                    || rows.beta().to_bits() != store.beta().to_bits()
+                    || rows.factor_dim() != store.factor_dim()
+                {
+                    return Err(StoreDecodeError::Inconsistent {
+                        field: "landmark layout",
+                        expected: store.dim(),
+                        actual: rows.dim(),
+                    });
+                }
+                let dlx_bytes = n.checked_mul(k).and_then(|e| e.checked_mul(8)).ok_or(
+                    StoreDecodeError::HeaderOverflow {
+                        field: "landmark features",
+                    },
+                )?;
+                let raw_dlx = take_chunk(&mut data, "landmark features", dlx_bytes)?;
+                let dlx: Vec<f64> = raw_dlx
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+                    .collect();
+                Some(LandmarkBlock { rows, dlx })
+            }
+        } else {
+            None
+        };
         if !data.is_empty() {
             return Err(StoreDecodeError::TrailingBytes(data.remaining()));
         }
-        Ok(IndexedStore::from_parts(store, centroids, cells))
+        Ok(IndexedStore::from_parts(store, centroids, cells, landmarks))
     }
 }
 
@@ -251,13 +327,17 @@ mod tests {
 
     #[test]
     fn every_truncation_errors_instead_of_panicking() {
-        let ix = built(PluginVariant::FusionDist, 2);
-        let full = ix.to_bytes().to_vec();
-        for cut in 0..full.len() {
-            let err = IndexedStore::from_bytes(Bytes::from(full[..cut].to_vec()));
-            assert!(err.is_err(), "cut at {cut} of {} must error", full.len());
+        // Fused (k_landmarks = 0 trailer) and Euclidean (full landmark
+        // block) exercise both layouts.
+        for variant in [PluginVariant::FusionDist, PluginVariant::Original] {
+            let ix = built(variant, 2);
+            let full = ix.to_bytes().to_vec();
+            for cut in 0..full.len() {
+                let err = IndexedStore::from_bytes(Bytes::from(full[..cut].to_vec()));
+                assert!(err.is_err(), "cut at {cut} of {} must error", full.len());
+            }
+            assert!(IndexedStore::from_bytes(Bytes::from(full)).is_ok());
         }
-        assert!(IndexedStore::from_bytes(Bytes::from(full)).is_ok());
     }
 
     #[test]
@@ -278,6 +358,99 @@ mod tests {
         );
     }
 
+    /// A version-1 payload (no landmark trailer) still decodes, as an
+    /// index without the second-level bound — and answers identically to
+    /// a landmark-free build.
+    #[test]
+    fn v1_payload_decodes_without_landmarks() {
+        let ix = IndexedStore::build(
+            store_with_rows(PluginVariant::Original),
+            IndexParams {
+                n_cells: Some(2),
+                n_landmarks: 0,
+                ..IndexParams::default()
+            },
+        );
+        let mut raw = ix.to_bytes().to_vec();
+        raw[4] = 1; // version 2 → 1
+        raw.truncate(raw.len() - 8); // drop the k_landmarks = 0 trailer
+        let back = IndexedStore::from_bytes(Bytes::from(raw)).expect("v1 payload");
+        assert_eq!(back, ix);
+        assert_eq!(back.num_landmarks(), 0);
+    }
+
+    #[test]
+    fn corrupt_landmark_structures_error() {
+        // A landmark block on the non-metric fused variant: no admissible
+        // bound exists, so the decoder must reject it. The fused payload
+        // ends with the `k_landmarks = 0` trailer; forge a nonzero count.
+        let mut raw = built(PluginVariant::FusionDist, 2).to_bytes().to_vec();
+        let at = raw.len() - 8;
+        raw[at..].copy_from_slice(&1u64.to_le_bytes());
+        let err = IndexedStore::from_bytes(Bytes::from(raw)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreDecodeError::Inconsistent {
+                    field: "landmark block on non-metric variant",
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+
+        let valid = built(PluginVariant::Original, 2);
+        let (store, centroids, cells) = (
+            valid.store.clone(),
+            valid.centroids.clone(),
+            valid.cells.clone(),
+        );
+        let lm = valid.landmarks.clone().expect("metric build has landmarks");
+
+        // Landmark rows whose layout disagrees with the store.
+        let wrong_layout = IndexedStore::from_parts(
+            store.clone(),
+            centroids.clone(),
+            cells.clone(),
+            Some(LandmarkBlock {
+                rows: store_with_rows(PluginVariant::LorentzCosh),
+                dlx: lm.dlx.clone(),
+            }),
+        );
+        let err = IndexedStore::from_bytes(wrong_layout.to_bytes()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreDecodeError::Inconsistent { .. } | StoreDecodeError::BadVariantTag(_)
+            ),
+            "got {err:?}"
+        );
+
+        // Feature matrix not n × k: the trailer is short (truncation) or
+        // long (trailing bytes) — both must error, never mis-slice.
+        for cut in [lm.dlx.len() - 1, lm.dlx.len() + 1] {
+            let mut dlx = lm.dlx.clone();
+            dlx.resize(cut, 0.0);
+            let bad = IndexedStore::from_parts(
+                store.clone(),
+                centroids.clone(),
+                cells.clone(),
+                Some(LandmarkBlock {
+                    rows: lm.rows.clone(),
+                    dlx,
+                }),
+            );
+            let err = IndexedStore::from_bytes(bad.to_bytes()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreDecodeError::Truncated { .. } | StoreDecodeError::TrailingBytes(_)
+                ),
+                "dlx len {cut}: got {err:?}"
+            );
+        }
+    }
+
     #[test]
     fn corrupt_cell_structures_error() {
         let store = store_with_rows(PluginVariant::Original);
@@ -291,6 +464,7 @@ mod tests {
             store.clone(),
             centroids.clone(),
             vec![IndexCell::new(vec![0, 1, 99], vec![0.0, 1.0, 2.0])],
+            None,
         );
         let err = IndexedStore::from_bytes(out_of_range.to_bytes()).unwrap_err();
         assert!(
@@ -308,6 +482,7 @@ mod tests {
             store.clone(),
             centroids.clone(),
             vec![IndexCell::new(vec![0, 1, 1], vec![0.0, 1.0, 1.0])],
+            None,
         );
         let err = IndexedStore::from_bytes(duplicated.to_bytes()).unwrap_err();
         assert!(
@@ -325,6 +500,7 @@ mod tests {
             store.clone(),
             centroids.clone(),
             vec![IndexCell::new(vec![0, 2], vec![0.0, 1.0])],
+            None,
         );
         let err = IndexedStore::from_bytes(incomplete.to_bytes()).unwrap_err();
         assert!(
@@ -342,6 +518,7 @@ mod tests {
             store,
             store_with_rows(PluginVariant::LorentzCosh),
             vec![IndexCell::new(vec![0, 1, 2], vec![0.0, 1.0, 2.0])],
+            None,
         );
         let err = IndexedStore::from_bytes(wrong_layout.to_bytes()).unwrap_err();
         assert!(

@@ -12,7 +12,13 @@
 //! * **metric variants** (Euclidean, Lorentz — see [`bound::BoundSpace`])
 //!   skip every cell whose lower bound exceeds the current k-th best and,
 //!   inside probed cells, every member with `|d(q,c) − d(c,x)| > kth`
-//!   (Schubert-style stored-distance bound). Both bounds are padded by a
+//!   (Schubert-style stored-distance bound) — composed tightest-wins
+//!   with a **second-level landmark bound** (`LandmarkBlock`): a few
+//!   farthest-point-selected store rows act as global landmarks, every
+//!   member keeps its bound-space distance to each, and
+//!   `max_j |θ(q,l_j) − θ(l_j,x)|` (the `traj_dist::landmark` feature
+//!   gap, transplanted into bound space) prunes members the single
+//!   centroid bound cannot separate. All bounds are padded by a
 //!   conservative float-rounding slack, so results are **bit-identical**
 //!   to [`EmbeddingStore::knn`] — recall 1.0 by construction, sub-linear
 //!   by pruning;
@@ -64,6 +70,33 @@ impl IndexCell {
     }
 }
 
+/// The second-level landmark bound: a handful of farthest-point-selected
+/// store rows plus every member's bound-space distance to each (the
+/// member's landmark *feature row*). The probe loop prunes a member when
+/// the Chebyshev gap between the query's and the member's feature rows
+/// exceeds the current k-th best — the same admissible mechanism as
+/// [`traj_dist::landmark`], applied in bound space (see
+/// [`BoundSpace::landmark_prunes`]). Built only for metric spaces.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LandmarkBlock {
+    /// Landmark rows, same layout as the store (`k` rows).
+    pub rows: EmbeddingStore,
+    /// Bound-space row→landmark distances, row-major `n × k`.
+    pub dlx: Vec<f64>,
+}
+
+impl LandmarkBlock {
+    /// Number of landmarks.
+    pub(crate) fn k(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Feature row of store row `m`.
+    pub(crate) fn features(&self, m: usize) -> &[f64] {
+        &self.dlx[m * self.k()..(m + 1) * self.k()]
+    }
+}
+
 /// Aggregate probe accounting for one or more indexed queries.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct ProbeStats {
@@ -79,8 +112,11 @@ pub struct ProbeStats {
     pub rows: usize,
     /// Rows whose kernel distance was evaluated.
     pub rows_scanned: usize,
-    /// Rows skipped by the stored-centroid-distance member bound.
+    /// Rows skipped by a member bound (centroid or landmark).
     pub rows_pruned: usize,
+    /// Subset of `rows_pruned` skipped by the second-level landmark
+    /// bound — members the centroid bound alone could not separate.
+    pub rows_pruned_landmark: usize,
 }
 
 impl ProbeStats {
@@ -93,6 +129,7 @@ impl ProbeStats {
         self.rows += other.rows;
         self.rows_scanned += other.rows_scanned;
         self.rows_pruned += other.rows_pruned;
+        self.rows_pruned_landmark += other.rows_pruned_landmark;
     }
 
     /// Fraction of candidate rows whose kernel distance was *not*
@@ -102,6 +139,16 @@ impl ProbeStats {
             return 0.0;
         }
         1.0 - self.rows_scanned as f64 / self.rows as f64
+    }
+
+    /// Fraction of candidate rows skipped by the second-level landmark
+    /// bound specifically — the composed bound's marginal win over the
+    /// centroid bound alone.
+    pub fn landmark_prune_rate(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.rows_pruned_landmark as f64 / self.rows as f64
     }
 
     /// Mean cells probed per query.
@@ -119,6 +166,7 @@ pub struct IndexedStore {
     store: EmbeddingStore,
     centroids: EmbeddingStore,
     cells: Vec<IndexCell>,
+    landmarks: Option<LandmarkBlock>,
     space: BoundSpace,
     probe_budget: Option<usize>,
 }
@@ -128,6 +176,7 @@ impl IndexedStore {
     pub fn build(store: EmbeddingStore, params: IndexParams) -> Self {
         let space = BoundSpace::for_variant(store.variant(), store.beta());
         let built = build::build_cells(&store, &space, &params);
+        let landmarks = build::build_landmarks(&store, &space, &params);
         let cells = built
             .members
             .into_iter()
@@ -138,6 +187,7 @@ impl IndexedStore {
             store,
             centroids: built.centroids,
             cells,
+            landmarks,
             space,
             probe_budget: None,
         }
@@ -153,12 +203,14 @@ impl IndexedStore {
         store: EmbeddingStore,
         centroids: EmbeddingStore,
         cells: Vec<IndexCell>,
+        landmarks: Option<LandmarkBlock>,
     ) -> Self {
         let space = BoundSpace::for_variant(store.variant(), store.beta());
         IndexedStore {
             store,
             centroids,
             cells,
+            landmarks,
             space,
             probe_budget: None,
         }
@@ -216,18 +268,29 @@ impl IndexedStore {
         self.cells.len()
     }
 
+    /// Number of second-level landmark rows (0 when the space is
+    /// non-metric or the block was disabled at build time).
+    pub fn num_landmarks(&self) -> usize {
+        self.landmarks.as_ref().map_or(0, LandmarkBlock::k)
+    }
+
     /// Active plugin variant.
     pub fn variant(&self) -> PluginVariant {
         self.store.variant()
     }
 
-    /// Index overhead on top of the store payload: centroid rows plus
-    /// per-member bookkeeping (the Table V memory accounting).
+    /// Index overhead on top of the store payload: centroid rows,
+    /// per-member bookkeeping, and the landmark block (the Table V
+    /// memory accounting).
     pub fn index_bytes(&self) -> usize {
         let per_member = std::mem::size_of::<u32>() + std::mem::size_of::<f64>();
+        let landmark_bytes = self.landmarks.as_ref().map_or(0, |lm| {
+            lm.rows.payload_bytes() + lm.dlx.len() * std::mem::size_of::<f64>()
+        });
         self.centroids.payload_bytes()
             + self.len() * per_member
             + self.cells.len() * std::mem::size_of::<f64>()
+            + landmark_bytes
     }
 
     /// Store payload plus index overhead.
@@ -277,10 +340,22 @@ impl IndexedStore {
             .collect();
         order.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
 
+        // The query's landmark feature row (O(k_l · d), once per query):
+        // bound-space distances to each landmark, compared against every
+        // member's stored feature row inside the probe loop.
+        let pl: Option<Vec<f64>> = self.landmarks.as_ref().map(|lm| {
+            lm.rows
+                .distance_row_from(queries, qi)
+                .iter()
+                .map(|&d| self.space.map(d))
+                .collect()
+        });
+
         let top = match self.store.variant() {
             PluginVariant::Original => self.probe(
                 &kernel::EuclideanKernel::bind(&self.store, queries, qi),
                 &pq,
+                pl.as_deref(),
                 &order,
                 k,
                 &mut stats,
@@ -288,6 +363,7 @@ impl IndexedStore {
             PluginVariant::LorentzVanilla | PluginVariant::LorentzCosh => self.probe(
                 &kernel::LorentzKernel::bind(&self.store, queries, qi),
                 &pq,
+                pl.as_deref(),
                 &order,
                 k,
                 &mut stats,
@@ -295,6 +371,7 @@ impl IndexedStore {
             PluginVariant::FusionDist => self.probe(
                 &kernel::FusedKernel::bind(&self.store, queries, qi),
                 &pq,
+                pl.as_deref(),
                 &order,
                 k,
                 &mut stats,
@@ -334,11 +411,15 @@ impl IndexedStore {
     /// for metric spaces skips cells/members whose slack-padded triangle
     /// bound already exceeds the current k-th best (`τ`), re-mapping `τ`
     /// into bound space lazily (only when the heap's worst survivor
-    /// changes — Lorentz mapping costs an `acosh`).
+    /// changes — Lorentz mapping costs an `acosh`). Member pruning
+    /// composes the centroid bound with the second-level landmark bound
+    /// (`pl` = the query's feature row) tightest-wins: either certifying
+    /// `d(q,x) > τ` skips the kernel evaluation.
     fn probe<K: DistanceKernel>(
         &self,
         kern: &K,
         pq: &[f64],
+        pl: Option<&[f64]>,
         order: &[(f64, u32)],
         k: usize,
         stats: &mut ProbeStats,
@@ -384,6 +465,18 @@ impl IndexedStore {
                 if metric && (pqj - dc).abs() > thresh {
                     stats.rows_pruned += 1;
                     continue;
+                }
+                // Second-level landmark bound, tightest-wins with the
+                // centroid bound: d(q,x) ≥ max_j |θ(q,l_j) − θ(l_j,x)|.
+                if let (Some(pl), Some(lm)) = (pl, self.landmarks.as_ref()) {
+                    if self
+                        .space
+                        .landmark_prunes(dim, pl, lm.features(m as usize), tau_p)
+                    {
+                        stats.rows_pruned += 1;
+                        stats.rows_pruned_landmark += 1;
+                        continue;
+                    }
                 }
                 let d = kern.distance_to(m as usize) as f64;
                 stats.rows_scanned += 1;
@@ -531,8 +624,84 @@ mod tests {
     fn payload_accounting_includes_index_overhead() {
         let s = store_with_rows(PluginVariant::LorentzCosh);
         let base = s.payload_bytes();
-        let ix = IndexedStore::build(s, params(2));
+        let ix = IndexedStore::build(s.clone(), params(2));
         assert!(ix.index_bytes() > 0);
         assert_eq!(ix.payload_bytes(), base + ix.index_bytes());
+        // The landmark block is part of the accounted overhead.
+        let no_lm = IndexedStore::build(
+            s,
+            IndexParams {
+                n_cells: Some(2),
+                n_landmarks: 0,
+                ..IndexParams::default()
+            },
+        );
+        assert!(ix.index_bytes() > no_lm.index_bytes());
+    }
+
+    /// A single cell whose centroid sits midway between two far-apart
+    /// clusters: every member has nearly the same centroid distance, so
+    /// the Schubert bound `|d(q,c) − d(c,x)|` separates (almost) nothing.
+    /// The landmark bound — with farthest-point landmarks landing in both
+    /// clusters — certifies the far cluster out, keeping results
+    /// bit-identical while scanning fewer rows.
+    #[test]
+    fn landmark_bound_prunes_where_centroid_bound_cannot() {
+        let mut db = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+        for i in 0..8 {
+            db.push(&[i as f32 * 0.01, 0.0], None, None);
+        }
+        for i in 0..8 {
+            db.push(&[1000.0 + i as f32 * 0.01, 0.0], None, None);
+        }
+        let mut q = EmbeddingStore::new(2, PluginVariant::Original, 1.0, None);
+        q.push(&[0.02, 0.0], None, None);
+
+        let ix = IndexedStore::build(db.clone(), params(1));
+        assert_eq!(ix.num_landmarks(), 4);
+        let (hits, stats) = ix.knn_batch_with_stats(&q, 4);
+        assert_eq!(bits(&hits[0]), bits(&db.knn(&q, 0, 4)));
+        assert!(
+            stats.rows_pruned_landmark > 0,
+            "landmark bound must reject far-cluster members the centroid \
+             bound cannot separate: {stats:?}"
+        );
+        assert!(stats.rows_pruned >= stats.rows_pruned_landmark);
+
+        let no_lm = IndexedStore::build(
+            db.clone(),
+            IndexParams {
+                n_cells: Some(1),
+                n_landmarks: 0,
+                ..IndexParams::default()
+            },
+        );
+        assert_eq!(no_lm.num_landmarks(), 0);
+        let (hits0, stats0) = no_lm.knn_batch_with_stats(&q, 4);
+        assert_eq!(bits(&hits0[0]), bits(&hits[0]));
+        assert_eq!(stats0.rows_pruned_landmark, 0);
+        assert!(
+            stats.rows_scanned < stats0.rows_scanned,
+            "composed bound must scan fewer rows: {stats:?} vs {stats0:?}"
+        );
+    }
+
+    /// The fused variant has no metric bound space, so no landmark block
+    /// is built even when requested — and serving stays correct.
+    #[test]
+    fn fused_variant_builds_no_landmarks() {
+        let s = store_with_rows(PluginVariant::FusionDist);
+        let ix = IndexedStore::build(
+            s.clone(),
+            IndexParams {
+                n_cells: Some(2),
+                n_landmarks: 8,
+                ..IndexParams::default()
+            },
+        );
+        assert_eq!(ix.num_landmarks(), 0);
+        for qi in 0..s.len() {
+            assert_eq!(bits(&ix.knn(&s, qi, 3)), bits(&s.knn(&s, qi, 3)));
+        }
     }
 }

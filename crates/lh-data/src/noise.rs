@@ -65,8 +65,8 @@ pub fn time_shift(t: &Trajectory, dt: f64) -> Trajectory {
 /// A random route variant: jitter + mild dropout + (for timestamped data) a
 /// random phase shift. `scale` is the city's GPS noise σ in meters.
 pub fn route_variant(rng: &mut StdRng, t: &Trajectory, scale: f64) -> Trajectory {
-    let jittered = jitter(rng, t, scale);
-    let dropped = dropout(rng, &jittered, 0.08);
+    let jittered = jitter(rng, t, scale * 0.5);
+    let dropped = dropout(rng, &jittered, 0.05);
     if dropped.is_timestamped() {
         let dt = rng.gen_range(0.0..120.0);
         time_shift(&dropped, dt)

@@ -63,51 +63,51 @@ impl DatasetPreset {
         match self {
             DatasetPreset::Chengdu => CityModelBuilder::new()
                 .extent(15_000.0)
-                .block(400.0)
+                .block(130.0)
                 .speed(12.0)
                 .sample_interval(15.0)
-                .gps_noise(10.0)
+                .gps_noise(30.0)
                 .turn_prob(0.25)
                 .build(),
             DatasetPreset::Porto => CityModelBuilder::new()
                 .extent(6_000.0)
-                .block(200.0)
+                .block(120.0)
                 .speed(9.0)
                 .sample_interval(15.0)
-                .gps_noise(6.0)
+                .gps_noise(28.0)
                 .turn_prob(0.4)
                 .build(),
             DatasetPreset::Xian => CityModelBuilder::new()
                 .extent(8_000.0)
-                .block(300.0)
+                .block(70.0)
                 .speed(10.0)
                 .sample_interval(12.0)
-                .gps_noise(8.0)
+                .gps_noise(16.0)
                 .turn_prob(0.3)
                 .build(),
             DatasetPreset::TDrive => CityModelBuilder::new()
                 .extent(20_000.0)
-                .block(500.0)
+                .block(135.0)
                 .speed(13.0)
                 .sample_interval(60.0)
-                .gps_noise(25.0)
+                .gps_noise(30.0)
                 .turn_prob(0.35)
                 .timestamped(true)
                 .build(),
             DatasetPreset::Osm => CityModelBuilder::new()
                 .extent(30_000.0)
-                .block(800.0)
+                .block(190.0)
                 .speed(15.0)
                 .sample_interval(20.0)
-                .gps_noise(15.0)
+                .gps_noise(45.0)
                 .turn_prob(0.2)
                 .build(),
             DatasetPreset::Geolife => CityModelBuilder::new()
                 .extent(12_000.0)
-                .block(250.0)
+                .block(55.0)
                 .speed(6.0)
                 .sample_interval(10.0)
-                .gps_noise(5.0)
+                .gps_noise(13.0)
                 .turn_prob(0.45)
                 .timestamped(true)
                 .build(),
@@ -144,18 +144,34 @@ impl DatasetPreset {
             DatasetPreset::Smoke => 2,
         }
     }
+
+    /// How many independent arterial bands the city has. The paper's
+    /// highest-violation datasets (T-Drive, Xian) behave like traffic
+    /// concentrated on a single corridor system; the rest spread over two.
+    fn corridor_families(&self) -> usize {
+        match self {
+            DatasetPreset::TDrive | DatasetPreset::Xian => 1,
+            _ => 2,
+        }
+    }
 }
+
+/// Parallel siblings per arterial band (one-way pairs, frontage roads,
+/// parallel avenues), spaced one block apart. Few enough that a random
+/// same-band triple often lands on three consecutive siblings.
+const BAND_SHIFTS: usize = 4;
 
 /// Generates `n` trajectories for a preset, deterministically from `seed`.
 ///
-/// The population mixes two realistic trip families:
+/// The population mixes three realistic trip families:
 ///
-/// * **corridor-composed trips** (~60%): a pool of shared road corridors
-///   is sampled once; each trip concatenates two corridors with a
-///   Manhattan connector. Partial overlap between trips is what produces
-///   triangle-inequality violations in alignment measures — the
-///   "bridge trajectory" of the paper's Example 1;
-/// * **free trips** (~40%): independent random walks.
+/// * **window trips** (~85%): a contiguous run of one arterial sibling
+///   (see the corridor bands below). Partial overlap between windows is
+///   what produces triangle-inequality violations — the "bridge
+///   trajectory" of the paper's Example 1;
+/// * **bridge trips** (~12%): a window of one arterial, a Manhattan
+///   connector, then a window of another;
+/// * **free trips** (~3%): independent random walks.
 ///
 /// Each base route then emits `variants_per_route` noisy observations,
 /// and the emission order is shuffled so train/test splits don't align
@@ -169,13 +185,32 @@ pub fn generate(preset: DatasetPreset, n: usize, seed: u64) -> TrajectoryDataset
 
     // Shared arterial pool: full-length road paths trips are built from.
     // Deliberately few arterials — real urban traffic concentrates on a
-    // handful of corridors, and this relatedness continuum (containment,
-    // partial overlap, bridging) is what gives alignment/edit measures
-    // their triangle-violation statistics.
-    let num_corridors = (num_routes / 4).clamp(3, 8);
-    let corridors: Vec<Vec<traj_core::Point>> = (0..num_corridors)
-        .map(|_| city.route(&mut rng, hi))
-        .collect();
+    // handful of corridors. Each band is a base arterial plus
+    // `BAND_SHIFTS - 1` parallel siblings one block apart. Trips windowed
+    // from siblings a couple of blocks apart match point-for-point under
+    // an edit tolerance of ~2 blocks while farther siblings do not; those
+    // non-transitive match chains are what give edit measures (EDR) their
+    // triangle-violation statistics, and partial overlap/bridging feeds
+    // the alignment measures (DTW/SSPD) theirs.
+    let mut corridors: Vec<Vec<traj_core::Point>> = Vec::new();
+    for _ in 0..preset.corridor_families() {
+        let base = city.route(&mut rng, hi);
+        let horizontal = rng.gen_bool(0.5);
+        for s in 0..BAND_SHIFTS {
+            let d = s as f64 * city.block;
+            let (dx, dy) = if horizontal { (0.0, d) } else { (d, 0.0) };
+            corridors.push(
+                base.iter()
+                    .map(|p| traj_core::Point {
+                        x: p.x + dx,
+                        y: p.y + dy,
+                        t: p.t,
+                    })
+                    .collect(),
+            );
+        }
+    }
+    let num_corridors = corridors.len();
     // A random contiguous window of an arterial (a partial run of it).
     let window = |rng: &mut StdRng, c: &[traj_core::Point], lo: usize| {
         let len = rng.gen_range(lo.min(c.len())..=c.len());
@@ -187,13 +222,15 @@ pub fn generate(preset: DatasetPreset, n: usize, seed: u64) -> TrajectoryDataset
     for _ in 0..num_routes {
         let len = rng.gen_range(lo..=hi);
         let style = rng.gen_range(0..100u32);
-        let route = if style < 45 {
-            // Window trip: a sub-run of one arterial (containment family).
+        let route = if style < 85 {
+            // Window trip: a long run of one arterial sibling. Windows
+            // cover ≥ 3/4 of the corridor so that any two windows of the
+            // same band overlap over most of their length — that is what
+            // lets nearby-sibling trips sit close under edit measures
+            // while far-sibling trips stay at full distance.
             let i = rng.gen_range(0..num_corridors);
-            let mut w = window(&mut rng, &corridors[i], lo / 2);
-            w.truncate(len.max(2));
-            w
-        } else if style < 80 {
+            window(&mut rng, &corridors[i], 3 * hi / 4)
+        } else if style < 97 {
             // Bridge trip: window of one arterial, connector, window of
             // another (the paper's Example 1 structure).
             let i = rng.gen_range(0..num_corridors);
@@ -201,8 +238,8 @@ pub fn generate(preset: DatasetPreset, n: usize, seed: u64) -> TrajectoryDataset
             if j == i {
                 j = (j + 1) % num_corridors;
             }
-            let wa = window(&mut rng, &corridors[i], lo / 2);
-            let wb = window(&mut rng, &corridors[j], lo / 2);
+            let wa = window(&mut rng, &corridors[i], lo);
+            let wb = window(&mut rng, &corridors[j], lo);
             city.compose(&wa, &wb, len)
         } else {
             // Free trip: independent random walk.

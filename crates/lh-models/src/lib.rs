@@ -15,6 +15,7 @@
 //! touches that output matrix, which is precisely the paper's claim.
 
 pub mod features;
+pub mod landmark;
 pub mod neutraj;
 pub mod st2vec;
 pub mod tedj;
@@ -22,6 +23,7 @@ pub mod traits;
 pub mod traj2simvec;
 pub mod trajgat;
 
+pub use landmark::LandmarkEncoder;
 pub use neutraj::NeutrajEncoder;
 pub use st2vec::St2VecEncoder;
 pub use tedj::TedjEncoder;

@@ -57,6 +57,9 @@ pub enum ModelKind {
     St2Vec,
     /// 3-D spatio-temporal grid + GRU (Tedj-style).
     Tedj,
+    /// Training-free distance-to-landmark featurization (baseline floor;
+    /// see [`crate::landmark`]).
+    Landmark,
 }
 
 impl ModelKind {
@@ -78,6 +81,7 @@ impl ModelKind {
             ModelKind::Traj2SimVec => "Traj2SimVec",
             ModelKind::St2Vec => "ST2Vec",
             ModelKind::Tedj => "Tedj",
+            ModelKind::Landmark => "Landmark",
         }
     }
 
@@ -103,6 +107,7 @@ impl ModelKind {
             )),
             ModelKind::St2Vec => Box::new(crate::st2vec::St2VecEncoder::new(config, store, rng)),
             ModelKind::Tedj => Box::new(crate::tedj::TedjEncoder::new(config, dataset, store, rng)),
+            ModelKind::Landmark => Box::new(crate::landmark::LandmarkEncoder::new(config, dataset)),
         }
     }
 }

@@ -20,6 +20,7 @@ pub mod edr;
 pub mod erp;
 pub mod frechet;
 pub mod hausdorff;
+pub mod landmark;
 pub mod lcss;
 pub mod matrix;
 pub mod measure;
@@ -31,10 +32,12 @@ pub use edr::edr;
 pub use erp::erp;
 pub use frechet::discrete_frechet;
 pub use hausdorff::hausdorff;
+pub use landmark::{LandmarkLowerBound, Landmarks};
 pub use lcss::lcss_distance;
 pub use matrix::{
     batch_distances, cross_matrix, pairwise_matrix, BatchPlan, BuildReport, CacheError,
-    CacheOutcome, DistanceMatrix, MatrixBuild, MatrixBuilder, Schedule,
+    CacheOutcome, DistanceMatrix, MatrixBuild, MatrixBuilder, PruneStage, Schedule,
+    DEFAULT_LANDMARKS,
 };
 pub use measure::{Measure, MeasureKind, PrunedDistance};
 pub use sspd::sspd;

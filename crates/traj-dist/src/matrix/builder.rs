@@ -15,20 +15,29 @@
 //!   no merge pass. Because each pair's distance is computed by the same
 //!   kernel call and written to fixed cells, the result is **bit-identical**
 //!   across schedules and thread counts.
-//! * **Opt-in threshold pruning** ([`MatrixBuilder::prune`]): DP measures
-//!   with non-negative cell costs (DTW/ERP/EDR) abandon a pair once no
-//!   alignment can stay under the threshold, recording an admissible
-//!   lower bound instead (see [`crate::measure::PrunedDistance`]); other
-//!   measures fall back to the exact kernel.
+//! * **Opt-in threshold pruning** as a layered [`PruneStage`] pipeline:
+//!   a cheap O(k) landmark lower-bound screen
+//!   ([`PruneStage::LandmarkScreen`], backed by [`crate::landmark`])
+//!   rejects pairs whose bound already exceeds the threshold before any
+//!   DP runs, and survivors fall through to the O(L²) row-min
+//!   early-abandon ([`PruneStage::EarlyAbandon`]) for the DP measures
+//!   (DTW/ERP/EDR). Every stage is admissible: entries ≤ threshold are
+//!   always bit-exact, larger entries may be certified lower bounds
+//!   (see [`crate::measure::PrunedDistance`]).
 //! * **Persistent checkpoints** ([`MatrixBuilder::cache_dir`]): finished
 //!   matrices are stored under a fingerprint of (dataset bits, measure
-//!   parameters, pruning config, shape) in the [`super::cache`] binary
-//!   format, so re-runs skip construction entirely and report a
-//!   [`CacheOutcome::Hit`].
+//!   parameters, shape) in the [`super::cache`] binary format, so
+//!   re-runs skip construction entirely and report a
+//!   [`CacheOutcome::Hit`]. Fingerprints are **prune-free**: only exact
+//!   (unpruned) builds are ever stored, and a pruned build may be served
+//!   from an exact checkpoint — an exact matrix trivially satisfies the
+//!   pruning contract, and the cache never gets poisoned with lower
+//!   bounds.
 
 use super::cache;
 use super::wavefront;
 use super::DistanceMatrix;
+use crate::landmark::LandmarkLowerBound;
 use crate::measure::Measure;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -62,6 +71,15 @@ pub enum Schedule {
 }
 
 impl Schedule {
+    /// Every schedule, in display order — the single source of truth for
+    /// CLI parsers and error messages listing the valid names.
+    pub const ALL: [Schedule; 4] = [
+        Schedule::Serial,
+        Schedule::RowChunked,
+        Schedule::Balanced,
+        Schedule::Wavefront,
+    ];
+
     /// Display name (bench labels, logs).
     pub fn name(&self) -> &'static str {
         match self {
@@ -74,14 +92,53 @@ impl Schedule {
 
     /// Parses a display name back into a schedule (CLI flags).
     pub fn from_name(name: &str) -> Option<Schedule> {
-        match name {
-            "serial" => Some(Schedule::Serial),
-            "row-chunked" => Some(Schedule::RowChunked),
-            "balanced" => Some(Schedule::Balanced),
-            "wavefront" => Some(Schedule::Wavefront),
-            _ => None,
-        }
+        Schedule::ALL.iter().copied().find(|s| s.name() == name)
     }
+}
+
+/// One layer of the pruning pipeline, ordered cheap → expensive.
+///
+/// Stages run in the order given to [`MatrixBuilder::prune_stages`]; a
+/// stage either certifies a lower bound above the threshold (the pair is
+/// *pruned* and later stages never run) or passes the pair on. A stage
+/// whose prerequisite the measure lacks (no admissible landmark bound,
+/// no early-abandon DP) is skipped, so the pipeline degrades gracefully
+/// to the exact kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PruneStage {
+    /// O(k) landmark feature screen ([`crate::landmark`]): features are
+    /// built once per input set (O(k·n) measure evaluations, not counted
+    /// in `pairs_computed`), then each pair costs k subtractions. Only
+    /// measures with [`Measure::supports_landmark_bound`] screen; others
+    /// skip this stage.
+    LandmarkScreen {
+        /// Number of landmark pivots (clamped to the set size).
+        k: usize,
+    },
+    /// Row-min early-abandon DP (DTW/ERP/EDR): abandons once a full DP
+    /// row exceeds the threshold. Measures without an early-abandon
+    /// kernel skip this stage and compute exactly.
+    EarlyAbandon,
+}
+
+/// Default pivot count for [`MatrixBuilder::prune_landmark`]: eight
+/// features make the screen cost invisible next to even the shortest DP
+/// while pruning most supra-threshold pairs in practice.
+pub const DEFAULT_LANDMARKS: usize = 8;
+
+/// A threshold plus the ordered stages that enforce it.
+#[derive(Debug, Clone)]
+struct PrunePlan {
+    threshold: f64,
+    stages: Vec<PruneStage>,
+}
+
+/// Which stage (if any) certified a pair's lower bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PrunedBy {
+    None,
+    Screen,
+    Dp,
 }
 
 /// Whether a build was served from the persistent checkpoint cache.
@@ -111,10 +168,15 @@ pub struct BuildReport {
     /// Cache disposition of this build.
     pub cache: CacheOutcome,
     /// Distance evaluations performed (0 on a cache hit; excludes the
-    /// mirrored writes of symmetric matrices).
+    /// mirrored writes of symmetric matrices and the O(k·n) landmark
+    /// featurization pass).
     pub pairs_computed: usize,
-    /// Evaluations that abandoned early under the pruning threshold.
+    /// Pairs whose entry is a certified lower bound instead of the exact
+    /// distance (all pruning stages combined).
     pub pairs_pruned: usize,
+    /// The subset of `pairs_pruned` rejected by the O(k) landmark screen
+    /// — these pairs never touched a DP table at all.
+    pub pairs_screened: usize,
 }
 
 /// A finished matrix plus its [`BuildReport`].
@@ -145,7 +207,7 @@ pub struct MatrixBuilder {
     schedule: Schedule,
     threads: Option<usize>,
     pair_batch: usize,
-    prune_threshold: Option<f64>,
+    prune: Option<PrunePlan>,
     cache_dir: Option<PathBuf>,
 }
 
@@ -162,7 +224,7 @@ impl MatrixBuilder {
             schedule: Schedule::default(),
             threads: None,
             pair_batch: DEFAULT_PAIR_BATCH,
-            prune_threshold: None,
+            prune: None,
             cache_dir: None,
         }
     }
@@ -190,8 +252,37 @@ impl MatrixBuilder {
     /// whose true distance is ≤ `threshold` stay exact; larger entries
     /// may be replaced by a certified lower bound (still > `threshold`).
     /// Only DTW/ERP/EDR can abandon; other measures compute exactly.
-    pub fn prune(mut self, threshold: f64) -> Self {
-        self.prune_threshold = Some(threshold);
+    /// Equivalent to `prune_stages(threshold, &[PruneStage::EarlyAbandon])`.
+    pub fn prune(self, threshold: f64) -> Self {
+        self.prune_stages(threshold, &[PruneStage::EarlyAbandon])
+    }
+
+    /// The full layered pipeline: an O(k) landmark screen in front of the
+    /// early-abandon DP, with `k = DEFAULT_LANDMARKS` pivots.
+    pub fn prune_landmark(self, threshold: f64) -> Self {
+        self.prune_stages(
+            threshold,
+            &[
+                PruneStage::LandmarkScreen {
+                    k: DEFAULT_LANDMARKS,
+                },
+                PruneStage::EarlyAbandon,
+            ],
+        )
+    }
+
+    /// Explicit pruning pipeline: `stages` run in order for every pair
+    /// (see [`PruneStage`] for the per-stage contracts). An empty stage
+    /// list disables pruning.
+    pub fn prune_stages(mut self, threshold: f64, stages: &[PruneStage]) -> Self {
+        self.prune = if stages.is_empty() {
+            None
+        } else {
+            Some(PrunePlan {
+                threshold,
+                stages: stages.to_vec(),
+            })
+        };
         self
     }
 
@@ -203,29 +294,70 @@ impl MatrixBuilder {
         self
     }
 
-    /// One pair evaluation honoring the pruning config; returns the value
-    /// and whether it was abandoned.
+    /// One pair evaluation through the pruning pipeline: stages run in
+    /// order, the first stage certifying a bound above the threshold
+    /// wins, and pairs surviving every stage get the exact kernel (or
+    /// the early-abandon DP's exact completion). `screen` is the
+    /// precomputed landmark oracle for this build's input set(s), `None`
+    /// when no screen stage applies.
     #[inline]
-    fn eval(&self, a: &Trajectory, b: &Trajectory) -> (f64, bool) {
-        match self.prune_threshold {
-            Some(t) if self.measure.supports_early_abandon() => {
-                let p = self.measure.distance_pruned(a, b, t);
-                (p.value(), p.abandoned())
+    fn eval_at(
+        &self,
+        screen: Option<&LandmarkLowerBound>,
+        i: usize,
+        j: usize,
+        a: &Trajectory,
+        b: &Trajectory,
+    ) -> (f64, PrunedBy) {
+        if let Some(plan) = &self.prune {
+            let t = plan.threshold;
+            for stage in &plan.stages {
+                match *stage {
+                    PruneStage::LandmarkScreen { .. } => {
+                        if let Some(s) = screen {
+                            let lb = s.lb(i, j);
+                            if lb > t {
+                                return (lb, PrunedBy::Screen);
+                            }
+                        }
+                    }
+                    PruneStage::EarlyAbandon if self.measure.supports_early_abandon() => {
+                        let p = self.measure.distance_pruned(a, b, t);
+                        let by = if p.abandoned() {
+                            PrunedBy::Dp
+                        } else {
+                            PrunedBy::None
+                        };
+                        return (p.value(), by);
+                    }
+                    PruneStage::EarlyAbandon => {}
+                }
             }
-            _ => (self.measure.distance(a, b), false),
         }
+        (self.measure.distance(a, b), PrunedBy::None)
+    }
+
+    /// The pivot count of the first applicable landmark-screen stage,
+    /// `None` when the pipeline has no screen or the measure admits no
+    /// landmark bound.
+    fn screen_k(&self) -> Option<usize> {
+        if !self.measure.supports_landmark_bound() {
+            return None;
+        }
+        self.prune.as_ref()?.stages.iter().find_map(|s| match *s {
+            PruneStage::LandmarkScreen { k } => Some(k),
+            PruneStage::EarlyAbandon => None,
+        })
     }
 
     /// The schedule actually executed: `Wavefront` demotes itself to
     /// `Balanced` when the measure has no batched kernel or a pruning
-    /// threshold is set (the batched tier always computes exact entries,
+    /// pipeline is set (the batched tier always computes exact entries,
     /// so it cannot honor an early-abandon threshold). Fingerprints never
     /// include the schedule, so the demotion is invisible to the cache.
     fn effective_schedule(&self) -> Schedule {
         match self.schedule {
-            Schedule::Wavefront
-                if !self.measure.supports_batch() || self.prune_threshold.is_some() =>
-            {
+            Schedule::Wavefront if !self.measure.supports_batch() || self.prune.is_some() => {
                 Schedule::Balanced
             }
             s => s,
@@ -245,8 +377,13 @@ impl MatrixBuilder {
 
     /// Best-effort checkpoint write; a full disk or read-only cache dir
     /// must not fail the build that just computed a perfectly good
-    /// matrix.
+    /// matrix. Pruned builds are **never stored**: fingerprints are
+    /// prune-free, so a stored lower-bound matrix would masquerade as the
+    /// exact one for every later build.
     fn try_cache_store(&self, fingerprint: u64, matrix: &DistanceMatrix) {
+        if self.prune.is_some() {
+            return;
+        }
         if let Some(dir) = self.cache_dir.as_deref() {
             if let Err(e) = cache::store(&cache::cache_path(dir, fingerprint), fingerprint, matrix)
             {
@@ -269,21 +406,35 @@ impl MatrixBuilder {
                     cache: CacheOutcome::Hit,
                     pairs_computed: 0,
                     pairs_pruned: 0,
+                    pairs_screened: 0,
                 },
             };
         }
 
+        let screen = self
+            .screen_k()
+            .and_then(|k| LandmarkLowerBound::pairwise(&self.measure, trajs, k));
+        let screen = screen.as_ref();
         let total_pairs = n * n.saturating_sub(1) / 2;
         let pruned = AtomicUsize::new(0);
+        let screened = AtomicUsize::new(0);
+        let tally = |by: PrunedBy| match by {
+            PrunedBy::None => {}
+            PrunedBy::Screen => {
+                pruned.fetch_add(1, Ordering::Relaxed);
+                screened.fetch_add(1, Ordering::Relaxed);
+            }
+            PrunedBy::Dp => {
+                pruned.fetch_add(1, Ordering::Relaxed);
+            }
+        };
         let mut data = vec![0.0; n * n];
         match self.effective_schedule() {
             Schedule::Serial => {
                 for i in 0..n {
                     for j in (i + 1)..n {
-                        let (d, was_pruned) = self.eval(&trajs[i], &trajs[j]);
-                        if was_pruned {
-                            pruned.fetch_add(1, Ordering::Relaxed);
-                        }
+                        let (d, by) = self.eval_at(screen, i, j, &trajs[i], &trajs[j]);
+                        tally(by);
                         data[i * n + j] = d;
                         data[j * n + i] = d;
                     }
@@ -297,10 +448,8 @@ impl MatrixBuilder {
                 let rows: Vec<Vec<f64>> = parallel_map(n, threads, |i| {
                     let mut row = vec![0.0; n - i];
                     for j in (i + 1)..n {
-                        let (d, was_pruned) = self.eval(&trajs[i], &trajs[j]);
-                        if was_pruned {
-                            pruned.fetch_add(1, Ordering::Relaxed);
-                        }
+                        let (d, by) = self.eval_at(screen, i, j, &trajs[i], &trajs[j]);
+                        tally(by);
                         row[j - i] = d;
                     }
                     row
@@ -321,12 +470,9 @@ impl MatrixBuilder {
                 let view = DisjointSlice::new(&mut data);
                 parallel_for_chunks(total_pairs, threads, batch, |range| {
                     let (mut i, mut j) = pair_at(range.start, n);
-                    let mut batch_pruned = 0;
                     for _ in range {
-                        let (d, was_pruned) = self.eval(&trajs[i], &trajs[j]);
-                        if was_pruned {
-                            batch_pruned += 1;
-                        }
+                        let (d, by) = self.eval_at(screen, i, j, &trajs[i], &trajs[j]);
+                        tally(by);
                         // SAFETY: pair (i, j) with i < j is claimed by
                         // exactly one batch, and cells (i,j)/(j,i) belong
                         // to that pair alone; the diagonal is untouched.
@@ -339,9 +485,6 @@ impl MatrixBuilder {
                             i += 1;
                             j = i + 1;
                         }
-                    }
-                    if batch_pruned > 0 {
-                        pruned.fetch_add(batch_pruned, Ordering::Relaxed);
                     }
                 });
             }
@@ -400,7 +543,9 @@ impl MatrixBuilder {
                         for s in range {
                             let (i, j) = pairs[plan.stragglers[s]];
                             let (i, j) = (i as usize, j as usize);
-                            let (d, _) = self.eval(&trajs[i], &trajs[j]);
+                            // Pruning demotes wavefront to balanced, so
+                            // this eval is always exact (screen = None).
+                            let (d, _) = self.eval_at(screen, i, j, &trajs[i], &trajs[j]);
                             // SAFETY: straggler pairs are disjoint from
                             // every group and from each other.
                             unsafe {
@@ -425,6 +570,7 @@ impl MatrixBuilder {
                 },
                 pairs_computed: total_pairs,
                 pairs_pruned: pruned.into_inner(),
+                pairs_screened: screened.into_inner(),
             },
         }
     }
@@ -442,22 +588,36 @@ impl MatrixBuilder {
                     cache: CacheOutcome::Hit,
                     pairs_computed: 0,
                     pairs_pruned: 0,
+                    pairs_screened: 0,
                 },
             };
         }
 
+        let screen = self
+            .screen_k()
+            .and_then(|k| LandmarkLowerBound::cross(&self.measure, queries, base, k));
+        let screen = screen.as_ref();
         let total_cells = n * m;
         let pruned = AtomicUsize::new(0);
+        let screened = AtomicUsize::new(0);
+        let tally = |by: PrunedBy| match by {
+            PrunedBy::None => {}
+            PrunedBy::Screen => {
+                pruned.fetch_add(1, Ordering::Relaxed);
+                screened.fetch_add(1, Ordering::Relaxed);
+            }
+            PrunedBy::Dp => {
+                pruned.fetch_add(1, Ordering::Relaxed);
+            }
+        };
         let mut data;
         match self.effective_schedule() {
             Schedule::Serial => {
                 data = Vec::with_capacity(total_cells);
-                for q in queries {
-                    for b in base {
-                        let (d, was_pruned) = self.eval(q, b);
-                        if was_pruned {
-                            pruned.fetch_add(1, Ordering::Relaxed);
-                        }
+                for (i, q) in queries.iter().enumerate() {
+                    for (j, b) in base.iter().enumerate() {
+                        let (d, by) = self.eval_at(screen, i, j, q, b);
+                        tally(by);
                         data.push(d);
                     }
                 }
@@ -466,11 +626,10 @@ impl MatrixBuilder {
                 let threads = self.threads.unwrap_or_else(|| default_threads(n));
                 let rows: Vec<Vec<f64>> = parallel_map(n, threads, |i| {
                     base.iter()
-                        .map(|b| {
-                            let (d, was_pruned) = self.eval(&queries[i], b);
-                            if was_pruned {
-                                pruned.fetch_add(1, Ordering::Relaxed);
-                            }
+                        .enumerate()
+                        .map(|(j, b)| {
+                            let (d, by) = self.eval_at(screen, i, j, &queries[i], b);
+                            tally(by);
                             d
                         })
                         .collect()
@@ -488,18 +647,18 @@ impl MatrixBuilder {
                     .unwrap_or_else(|| default_threads(total_cells.div_ceil(batch)));
                 let view = DisjointSlice::new(&mut data);
                 parallel_for_chunks(total_cells, threads, batch, |range| {
-                    let mut batch_pruned = 0;
                     for cell in range {
-                        let (d, was_pruned) = self.eval(&queries[cell / m], &base[cell % m]);
-                        if was_pruned {
-                            batch_pruned += 1;
-                        }
+                        let (d, by) = self.eval_at(
+                            screen,
+                            cell / m,
+                            cell % m,
+                            &queries[cell / m],
+                            &base[cell % m],
+                        );
+                        tally(by);
                         // SAFETY: each flat cell index is claimed by
                         // exactly one batch.
                         unsafe { view.write(cell, d) };
-                    }
-                    if batch_pruned > 0 {
-                        pruned.fetch_add(batch_pruned, Ordering::Relaxed);
                     }
                 });
             }
@@ -540,7 +699,15 @@ impl MatrixBuilder {
                     |range| {
                         for s in range {
                             let cell = plan.stragglers[s];
-                            let (d, _) = self.eval(&queries[cell / m], &base[cell % m]);
+                            // Pruning demotes wavefront to balanced, so
+                            // this eval is always exact (screen = None).
+                            let (d, _) = self.eval_at(
+                                screen,
+                                cell / m,
+                                cell % m,
+                                &queries[cell / m],
+                                &base[cell % m],
+                            );
                             // SAFETY: stragglers are disjoint from every
                             // group and from each other.
                             unsafe { view.write(cell, d) };
@@ -562,29 +729,23 @@ impl MatrixBuilder {
                 },
                 pairs_computed: total_cells,
                 pairs_pruned: pruned.into_inner(),
+                pairs_screened: screened.into_inner(),
             },
         }
     }
 
     /// Content fingerprint of a build: matrix kind, every input
-    /// trajectory's raw coordinate bits, the full measure configuration,
-    /// and the pruning threshold. Anything that can change a single
-    /// output byte must feed in here.
+    /// trajectory's raw coordinate bits, and the measure parameters the
+    /// kernel actually reads. Deliberately **prune-free** (and
+    /// schedule-free): the cache holds only exact matrices, which serve
+    /// exact *and* pruned requests — an exact entry satisfies every
+    /// pruning contract — while pruned builds never store (see
+    /// [`MatrixBuilder::try_cache_store`]).
     fn fingerprint(&self, kind_tag: &[u8], traj_sets: &[&[Trajectory]]) -> u64 {
         let mut h = Fnv::new();
         h.write(kind_tag);
         h.write_u64(cache::VERSION as u64);
         hash_measure(&mut h, &self.measure);
-        match self
-            .prune_threshold
-            .filter(|_| self.measure.supports_early_abandon())
-        {
-            Some(t) => {
-                h.write(&[1]);
-                h.write_u64(t.to_bits());
-            }
-            None => h.write(&[0]),
-        }
         for trajs in traj_sets {
             h.write_u64(trajs.len() as u64);
             for t in *trajs {
@@ -833,6 +994,183 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Longer, spatially spread trajectories so both the landmark screen
+    /// and the early-abandon DP actually fire at a mean threshold.
+    fn spread_trajs(n: usize) -> Vec<Trajectory> {
+        (0..n)
+            .map(|i| {
+                let pts: Vec<(f64, f64)> = (0..20)
+                    .map(|k| (i as f64 + k as f64 * 0.3, (k as f64 * 0.5 + i as f64).sin()))
+                    .collect();
+                Trajectory::from_xy(&pts).unwrap()
+            })
+            .collect()
+    }
+
+    /// Two well-separated spatial clusters of near-duplicate
+    /// trajectories: within-cluster DTW is small (phase jitter over 16
+    /// points), cross-cluster closest-pair gaps are ≈ the 40-unit
+    /// separation. A within-cluster threshold puts the screen in the
+    /// regime the constant-1 DTW bound can certify (see
+    /// [`crate::landmark`] — the closest-pair feature gap is capped at
+    /// spatial scale, not path-sum scale).
+    fn clustered_trajs(n: usize) -> Vec<Trajectory> {
+        (0..n)
+            .map(|i| {
+                let cx = 40.0 * (i % 2) as f64;
+                let phase = (i / 2) as f64 * 0.7;
+                let pts: Vec<(f64, f64)> = (0..16)
+                    .map(|k| {
+                        let t = k as f64 * 0.4 + phase;
+                        (cx + t.sin() * 0.3, t.cos() * 0.3)
+                    })
+                    .collect();
+                Trajectory::from_xy(&pts).unwrap()
+            })
+            .collect()
+    }
+
+    /// The q-th quantile of the strictly positive entries.
+    fn quantile(m: &DistanceMatrix, q: f64) -> f64 {
+        let mut vals: Vec<f64> = m.data().iter().copied().filter(|&v| v > 0.0).collect();
+        vals.sort_by(f64::total_cmp);
+        vals[((vals.len() - 1) as f64 * q) as usize]
+    }
+
+    #[test]
+    fn landmark_screen_layers_with_early_abandon() {
+        let ts = clustered_trajs(12);
+        let measure = MeasureKind::Dtw.measure();
+        let exact = MatrixBuilder::new(measure).build_pairwise(&ts);
+        // Near-neighborhood threshold: within-cluster distances stay
+        // exact, cross-cluster pairs are screenable.
+        let threshold = quantile(&exact.matrix, 0.25);
+        let layered = MatrixBuilder::new(measure)
+            .prune_landmark(threshold)
+            .build_pairwise(&ts);
+        assert!(
+            layered.report.pairs_screened > 0,
+            "screen must reject pairs"
+        );
+        assert!(
+            layered.report.pairs_pruned >= layered.report.pairs_screened,
+            "screen prunes are a subset of all prunes"
+        );
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let (e, p) = (exact.matrix.get(i, j), layered.matrix.get(i, j));
+                assert!(p <= e + 1e-12, "lower bound exceeded exact at ({i},{j})");
+                if e <= threshold {
+                    assert_eq!(e.to_bits(), p.to_bits(), "sub-threshold entry not exact");
+                } else {
+                    assert!(p > threshold, "pruned entry fell below threshold");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_screen_alone_prunes_metric_measures() {
+        // Hausdorff has no early-abandon DP: the screen is the only
+        // stage that can prune, and survivors must come out bit-exact.
+        let ts = spread_trajs(10);
+        let measure = MeasureKind::Hausdorff.measure();
+        let exact = MatrixBuilder::new(measure).build_pairwise(&ts);
+        let threshold = exact.matrix.off_diagonal_mean();
+        let screened = MatrixBuilder::new(measure)
+            .prune_stages(threshold, &[PruneStage::LandmarkScreen { k: 4 }])
+            .build_pairwise(&ts);
+        assert!(screened.report.pairs_screened > 0);
+        assert_eq!(
+            screened.report.pairs_pruned, screened.report.pairs_screened,
+            "no other stage can prune for Hausdorff"
+        );
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let (e, p) = (exact.matrix.get(i, j), screened.matrix.get(i, j));
+                if e <= threshold {
+                    assert_eq!(e.to_bits(), p.to_bits());
+                } else {
+                    assert!(p > threshold && p <= e + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_screen_degrades_for_ungated_measures() {
+        // EDR admits no landmark bound: the screen stage is skipped and
+        // the pipeline behaves exactly like plain early-abandon.
+        let ts = spread_trajs(9);
+        let measure = MeasureKind::Edr.measure();
+        let threshold = MatrixBuilder::new(measure)
+            .build_pairwise(&ts)
+            .matrix
+            .off_diagonal_mean();
+        let plain = MatrixBuilder::new(measure)
+            .prune(threshold)
+            .build_pairwise(&ts);
+        let layered = MatrixBuilder::new(measure)
+            .prune_landmark(threshold)
+            .build_pairwise(&ts);
+        assert_eq!(bits(&plain.matrix), bits(&layered.matrix));
+        assert_eq!(layered.report.pairs_screened, 0);
+        assert_eq!(plain.report.pairs_pruned, layered.report.pairs_pruned);
+    }
+
+    #[test]
+    fn layered_cross_build_is_admissible() {
+        let ts = spread_trajs(12);
+        let (queries, base) = ts.split_at(4);
+        let measure = MeasureKind::Erp.measure();
+        let exact = MatrixBuilder::new(measure).build_cross(queries, base);
+        let threshold = exact.matrix.off_diagonal_mean();
+        let layered = MatrixBuilder::new(measure)
+            .prune_landmark(threshold)
+            .build_cross(queries, base);
+        assert!(layered.report.pairs_pruned > 0);
+        for i in 0..queries.len() {
+            for j in 0..base.len() {
+                let (e, p) = (exact.matrix.get(i, j), layered.matrix.get(i, j));
+                assert!(p <= e + 1e-12);
+                if e <= threshold {
+                    assert_eq!(e.to_bits(), p.to_bits(), "sub-threshold entry not exact");
+                } else {
+                    assert!(p > threshold);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_checkpoint_serves_pruned_request_but_not_vice_versa() {
+        let dir = std::env::temp_dir().join(format!("lhgm-prunecache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ts = spread_trajs(8);
+        let measure = MeasureKind::Dtw.measure();
+        let exact = MatrixBuilder::new(measure)
+            .cache_dir(&dir)
+            .build_pairwise(&ts);
+        assert_eq!(exact.report.cache, CacheOutcome::Miss);
+        // Pruned request hits the exact checkpoint bit-for-bit.
+        let pruned = MatrixBuilder::new(measure)
+            .cache_dir(&dir)
+            .prune_landmark(exact.matrix.off_diagonal_mean())
+            .build_pairwise(&ts);
+        assert_eq!(pruned.report.cache, CacheOutcome::Hit);
+        assert_eq!(bits(&exact.matrix), bits(&pruned.matrix));
+        // A cold pruned build never stores: the next pruned build misses
+        // again instead of reading back lower bounds.
+        let dir2 = dir.join("cold");
+        let threshold = exact.matrix.off_diagonal_mean();
+        let b = MatrixBuilder::new(measure)
+            .cache_dir(&dir2)
+            .prune_landmark(threshold);
+        assert_eq!(b.build_pairwise(&ts).report.cache, CacheOutcome::Miss);
+        assert_eq!(b.build_pairwise(&ts).report.cache, CacheOutcome::Miss);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -15,7 +15,9 @@ pub mod builder;
 pub mod cache;
 pub mod wavefront;
 
-pub use builder::{BuildReport, CacheOutcome, MatrixBuild, MatrixBuilder, Schedule};
+pub use builder::{
+    BuildReport, CacheOutcome, MatrixBuild, MatrixBuilder, PruneStage, Schedule, DEFAULT_LANDMARKS,
+};
 pub use cache::CacheError;
 pub use wavefront::{batch_distances, plan_batches, BatchPlan};
 

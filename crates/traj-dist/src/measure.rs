@@ -184,6 +184,40 @@ impl Measure {
         crate::matrix::wavefront::batch_distances(self, pairs)
     }
 
+    /// Whether [`crate::landmark`] feature maps give an admissible lower
+    /// bound for this measure (see that module's derivation).
+    ///
+    /// ERP, Hausdorff, and discrete Fréchet qualify because they are
+    /// metrics (reverse triangle inequality, constant 1); DTW qualifies
+    /// through the closest-pair feature (constant 1, alignment-coverage
+    /// argument). EDR and LCSS are excluded: their tolerance-quantized
+    /// edit counts are not Lipschitz in any point-based feature, and
+    /// SSPD/TP/DITA are non-metric aggregates with no known admissible
+    /// feature.
+    pub fn supports_landmark_bound(&self) -> bool {
+        matches!(
+            self.kind,
+            MeasureKind::Dtw
+                | MeasureKind::Erp
+                | MeasureKind::Hausdorff
+                | MeasureKind::DiscreteFrechet
+        )
+    }
+
+    /// The landmark feature of `t` against pivot trajectory `pivot`:
+    /// the measure distance for the metric measures, the closest-pair
+    /// distance for DTW. Ungated measures return NaN, which the bound
+    /// side treats as fail-open (never prunes).
+    pub fn landmark_feature(&self, t: &Trajectory, pivot: &Trajectory) -> f64 {
+        match self.kind {
+            MeasureKind::Dtw => crate::landmark::closest_pair(t, pivot),
+            MeasureKind::Erp | MeasureKind::Hausdorff | MeasureKind::DiscreteFrechet => {
+                self.distance(t, pivot)
+            }
+            _ => f64::NAN,
+        }
+    }
+
     /// Threshold-pruned distance evaluation (see [`PrunedDistance`] for
     /// the admissibility contract). Measures without an early-abandon
     /// path always return [`PrunedDistance::Exact`].

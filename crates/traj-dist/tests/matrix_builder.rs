@@ -145,17 +145,24 @@ proptest! {
         let warm = builder.build_pairwise(&ts);
         prop_assert_eq!(warm.report.cache, CacheOutcome::Hit);
         prop_assert_eq!(bits(&cold.matrix), bits(&warm.matrix));
-        // A pruned build over the same inputs must not collide with the
-        // exact checkpoint (different fingerprint) — except for measures
-        // without an abandon path, where pruning is a no-op and sharing
-        // the checkpoint is correct.
+        // Fingerprints are prune-free: a pruned request over the same
+        // inputs is served from the exact checkpoint (an exact matrix
+        // satisfies every pruning contract), for every measure.
         let pruned_builder = MatrixBuilder::new(measure).cache_dir(&dir).prune(0.25);
         let pruned = pruned_builder.build_pairwise(&ts);
-        if measure.supports_early_abandon() {
-            prop_assert_eq!(pruned.report.cache, CacheOutcome::Miss);
-        } else {
-            prop_assert_eq!(pruned.report.cache, CacheOutcome::Hit);
-        }
+        prop_assert_eq!(pruned.report.cache, CacheOutcome::Hit);
+        prop_assert_eq!(bits(&cold.matrix), bits(&pruned.matrix));
+        // And the other direction: pruned builds never store, so a cold
+        // pruned build cannot poison the cache for a later exact one.
+        let dir2 = dir.join("pruned-first");
+        let pruned_cold = MatrixBuilder::new(measure)
+            .cache_dir(&dir2)
+            .prune(0.25)
+            .build_pairwise(&ts);
+        prop_assert_eq!(pruned_cold.report.cache, CacheOutcome::Miss);
+        let exact_after = MatrixBuilder::new(measure).cache_dir(&dir2).build_pairwise(&ts);
+        prop_assert_eq!(exact_after.report.cache, CacheOutcome::Miss);
+        prop_assert_eq!(bits(&cold.matrix), bits(&exact_after.matrix));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
