@@ -1,0 +1,92 @@
+//! Validates the committed benchmark ledgers against their schemas.
+//!
+//! With no arguments, checks every ledger in
+//! [`lh_bench::ledger::COMMITTED_LEDGERS`] at the repo root (a missing
+//! file fails — a deleted ledger is drift too, unless `--allow-missing`
+//! is passed for bootstrap situations). With `--file <path>` checks one
+//! file, inferring the spec from the first record's `schema` tag or
+//! taking it from `--schema <tag>`.
+//!
+//! Exit code 0 means every checked ledger parsed and satisfied its
+//! contract: correct schema tag, required record/row fields present,
+//! `recorded_at_unix` monotone. Anything else prints the violation and
+//! exits 1 — this is the `ledger-validate` CI gate.
+//!
+//! Usage: `cargo run --release -p lh-bench --bin ledger_validate
+//!        [--file BENCH_x.json [--schema serve-bench-v1]] [--allow-missing]`
+
+use lh_bench::ledger::{self, LedgerSpec};
+use lh_bench::Args;
+use serde::Value;
+
+fn check(path: &str, spec: &LedgerSpec) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let report = ledger::validate_text(&text, spec).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "[ledger_validate] {path}: OK — {} record(s), {} row(s), schema {}, \
+         recorded {}..{}",
+        report.records, report.rows, spec.schema, report.first_recorded, report.last_recorded
+    );
+    Ok(())
+}
+
+/// Infers the spec for `path` from its first record's `schema` tag.
+fn infer_spec(path: &str) -> Result<&'static LedgerSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let doc = Value::parse(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    let first = match &doc {
+        Value::Arr(records) => records
+            .first()
+            .ok_or_else(|| format!("{path}: ledger holds no records"))?,
+        _ => return Err(format!("{path}: ledger must be a top-level JSON array")),
+    };
+    let tag = first
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{path}: first record has no `schema` string"))?;
+    ledger::spec_for(tag).ok_or_else(|| format!("{path}: unknown schema `{tag}`"))
+}
+
+fn main() {
+    let args = Args::parse();
+    let mut failures = 0usize;
+    if let Some(path) = args.get_str("file") {
+        let spec = match args.get_str("schema") {
+            Some(tag) => ledger::spec_for(tag).unwrap_or_else(|| panic!("unknown schema `{tag}`")),
+            None => match infer_spec(path) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("[ledger_validate] FAIL — {e}");
+                    std::process::exit(1);
+                }
+            },
+        };
+        if let Err(e) = check(path, spec) {
+            eprintln!("[ledger_validate] FAIL — {e}");
+            failures += 1;
+        }
+    } else {
+        for (path, spec) in ledger::COMMITTED_LEDGERS {
+            if !std::path::Path::new(path).exists() {
+                if args.flag("allow-missing") {
+                    println!("[ledger_validate] {path}: missing (allowed)");
+                    continue;
+                }
+                eprintln!(
+                    "[ledger_validate] FAIL — {path}: missing (a deleted ledger is drift; \
+                     pass --allow-missing only while bootstrapping)"
+                );
+                failures += 1;
+                continue;
+            }
+            if let Err(e) = check(path, spec) {
+                eprintln!("[ledger_validate] FAIL — {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("[ledger_validate] all ledgers valid");
+}

@@ -24,61 +24,12 @@
 //!        [--reps 3] [--clusters 64] [--out BENCH_retrieval.json]
 //!        [--no-append]`
 
+use lh_bench::synth::{mixture_centers, synth_clustered};
 use lh_bench::{append_record, best_of, print_header, Args, Table};
 use lh_core::config::{PluginConfig, PluginVariant};
-use lh_core::{EmbeddingStore, IndexParams, IndexedStore, ShardedStore};
+use lh_core::{IndexParams, IndexedStore, ShardedStore};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Mixture centers shared by a database and its queries (querying the
-/// distribution you indexed is the realistic serving workload).
-fn mixture_centers(clusters: usize, dim: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
-    (0..clusters.max(1))
-        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
-        .collect()
-}
-
-/// Clustered synthetic store: rows drawn from Gaussian blobs around
-/// `centers` (σ ≈ 0.05 via an Irwin–Hall approximation — no normal
-/// sampler in the offline `rand` shim), valid hyperboloid rows, positive
-/// factors.
-fn synth_clustered(
-    n: usize,
-    dim: usize,
-    centers: &[Vec<f32>],
-    cfg: &PluginConfig,
-    rng: &mut StdRng,
-) -> EmbeddingStore {
-    let mut store = EmbeddingStore::new(
-        dim,
-        cfg.variant,
-        cfg.beta,
-        cfg.variant.uses_fusion().then_some(cfg.factor_dim),
-    );
-    let mut eu = vec![0.0f32; dim];
-    let mut hy = vec![0.0f32; dim + 1];
-    let mut fa = vec![0.0f32; 2 * cfg.factor_dim];
-    for _ in 0..n {
-        let c = &centers[rng.gen_range(0..centers.len())];
-        for (v, &cv) in eu.iter_mut().zip(c) {
-            // Sum of 4 uniforms − 2 ≈ N(0, 1/3); scaled to σ ≈ 0.05.
-            let g: f32 = (0..4).map(|_| rng.gen_range(0.0f32..1.0)).sum::<f32>() - 2.0;
-            *v = cv + g * 0.087;
-        }
-        let nsq: f32 = eu.iter().map(|v| v * v).sum();
-        hy[0] = (nsq + cfg.beta).sqrt();
-        hy[1..].copy_from_slice(&eu);
-        for v in &mut fa {
-            *v = rng.gen_range(0.01..1.0);
-        }
-        store.push(
-            &eu,
-            cfg.variant.uses_hyperbolic().then_some(&hy[..]),
-            cfg.variant.uses_fusion().then_some(&fa[..]),
-        );
-    }
-    store
-}
+use rand::SeedableRng;
 
 /// Mean recall@k of `got` against the exact `want` (id overlap).
 fn recall(want: &[Vec<lh_core::RetrievalResult>], got: &[Vec<lh_core::RetrievalResult>]) -> f64 {

@@ -1,0 +1,340 @@
+//! Mutable serving tier under a mixed read/write load, tracked over time.
+//!
+//! `retrieval_bench` measures frozen stores; this harness measures the
+//! [`ServingStore`] doing what frozen stores cannot: answering queries
+//! *while* absorbing upserts and removals. It seeds a clustered store,
+//! then drives a closed-loop multi-threaded workload — each worker pulls
+//! the next operation off a shared counter and draws its class from the
+//! configured query/upsert/remove mix — with zipf-skewed popularity on
+//! both query rows and written ids (serving traffic is never uniform;
+//! skew is what makes the epoch-snapshot design earn its keep, since hot
+//! writers keep publishing while hot readers keep scanning).
+//!
+//! Per op class it reports p50/p95/p99 latency and throughput, plus the
+//! store's epoch/compaction counters. Before anything is appended to the
+//! ledger, the harness re-asserts the serving tier's core contract on
+//! sampled queries: snapshot kNN (masked index probe + delta overlay)
+//! must be **bit-identical** to a flat scan of the materialized live
+//! rows. A failed check aborts the run — no record is written from a
+//! store that broke determinism under churn.
+//!
+//! Usage: `cargo run --release -p lh-bench --bin serve_bench
+//!        [--n 50000] [--ops 20000] [--dim 16] [--k 10] [--threads 4]
+//!        [--query-pct 80] [--upsert-pct 15] [--zipf 1.05]
+//!        [--clusters 64] [--compact 4096] [--query-pool 256]
+//!        [--verify-queries 16] [--out BENCH_serve.json] [--no-append]`
+//!
+//! (The remove share is whatever the query and upsert percentages leave.)
+
+use lh_bench::synth::{clustered_row, mixture_centers, synth_clustered, ZipfSampler};
+use lh_bench::{append_record, print_header, Args, Table};
+use lh_core::config::{PluginConfig, PluginVariant};
+use lh_core::{ServeHit, ServingOptions, ServingStore, Snapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One op class's latency samples, merged across workers.
+#[derive(Default)]
+struct ClassLatencies {
+    micros: Vec<f64>,
+}
+
+impl ClassLatencies {
+    fn push(&mut self, seconds: f64) {
+        self.micros.push(seconds * 1e6);
+    }
+
+    fn merge(&mut self, other: ClassLatencies) {
+        self.micros.extend(other.micros);
+    }
+
+    fn count(&self) -> usize {
+        self.micros.len()
+    }
+
+    fn percentile(&self, sorted: &[f64], p: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() as f64) * p / 100.0) as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// `(p50, p95, p99)` in microseconds.
+    fn percentiles(&self) -> (f64, f64, f64) {
+        let mut sorted = self.micros.clone();
+        sorted.sort_by(f64::total_cmp);
+        (
+            self.percentile(&sorted, 50.0),
+            self.percentile(&sorted, 95.0),
+            self.percentile(&sorted, 99.0),
+        )
+    }
+}
+
+const CLASS_NAMES: [&str; 3] = ["query", "upsert", "remove"];
+
+/// Runs the closed-loop mixed workload and returns per-class latencies
+/// plus the wall time.
+#[allow(clippy::too_many_arguments)] // a bench driver, not an API
+fn run_workload(
+    store: &ServingStore,
+    query_pool: &lh_core::EmbeddingStore,
+    cfg: &PluginConfig,
+    centers: &[Vec<f32>],
+    dim: usize,
+    k: usize,
+    ops: usize,
+    threads: usize,
+    query_pct: usize,
+    upsert_pct: usize,
+    id_space: u64,
+    zipf_s: f64,
+) -> ([ClassLatencies; 3], f64) {
+    let next_op = AtomicUsize::new(0);
+    let id_zipf = ZipfSampler::new(id_space as usize, zipf_s);
+    let query_zipf = ZipfSampler::new(query_pool.len(), zipf_s);
+    let started = Instant::now();
+    let per_thread: Vec<[ClassLatencies; 3]> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.max(1))
+            .map(|t| {
+                let next_op = &next_op;
+                let id_zipf = &id_zipf;
+                let query_zipf = &query_zipf;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x5e47e + t as u64);
+                    let mut lat: [ClassLatencies; 3] = Default::default();
+                    loop {
+                        if next_op.fetch_add(1, Ordering::Relaxed) >= ops {
+                            break;
+                        }
+                        let dice = rng.gen_range(0..100usize);
+                        if dice < query_pct {
+                            let qi = query_zipf.sample(&mut rng);
+                            let t0 = Instant::now();
+                            let hits = store.snapshot().knn(query_pool, qi, k);
+                            lat[0].push(t0.elapsed().as_secs_f64());
+                            std::hint::black_box(hits);
+                        } else if dice < query_pct + upsert_pct {
+                            let id = id_zipf.sample(&mut rng) as u64;
+                            let row = clustered_row(dim, centers, cfg, &mut rng);
+                            let t0 = Instant::now();
+                            store
+                                .upsert(
+                                    id,
+                                    &row.eu,
+                                    cfg.variant.uses_hyperbolic().then_some(&row.hyper[..]),
+                                    cfg.variant.uses_fusion().then_some(&row.factors[..]),
+                                )
+                                .expect("upsert");
+                            lat[1].push(t0.elapsed().as_secs_f64());
+                        } else {
+                            let id = id_zipf.sample(&mut rng) as u64;
+                            let t0 = Instant::now();
+                            store.remove(id).expect("remove");
+                            lat[2].push(t0.elapsed().as_secs_f64());
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let mut merged: [ClassLatencies; 3] = Default::default();
+    for thread_lat in per_thread {
+        for (into, from) in merged.iter_mut().zip(thread_lat) {
+            into.merge(from);
+        }
+    }
+    (merged, wall)
+}
+
+/// Asserts snapshot kNN ≡ flat scan of the materialized live rows on
+/// `nv` sampled queries, bit for bit. Returns the number of queries
+/// checked (aborts the process on mismatch).
+fn assert_bit_identity(
+    snap: &Snapshot,
+    query_pool: &lh_core::EmbeddingStore,
+    k: usize,
+    nv: usize,
+) -> usize {
+    let (flat, ids) = snap.to_flat();
+    let nv = nv.min(query_pool.len());
+    for qi in 0..nv {
+        let served: Vec<(u64, u32)> = snap
+            .knn(query_pool, qi, k)
+            .iter()
+            .map(|h: &ServeHit| (h.id, h.distance.to_bits()))
+            .collect();
+        let reference: Vec<(u64, u32)> = flat
+            .knn(query_pool, qi, k)
+            .iter()
+            .map(|h| (ids[h.index], h.distance.to_bits()))
+            .collect();
+        assert_eq!(
+            served, reference,
+            "snapshot kNN diverged from the flat scan on verify query {qi}"
+        );
+    }
+    nv
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 50_000usize);
+    let ops = args.get("ops", 20_000usize);
+    let dim = args.get("dim", 16usize);
+    let k = args.get("k", 10usize);
+    let threads = args.get("threads", 4usize);
+    let query_pct = args.get("query-pct", 80usize);
+    let upsert_pct = args.get("upsert-pct", 15usize);
+    let zipf_s = args.get("zipf", 1.05f64);
+    let clusters = args.get("clusters", 64usize);
+    let compact_threshold = args.get("compact", 4096usize);
+    let query_pool_size = args.get("query-pool", 256usize);
+    let verify_queries = args.get("verify-queries", 16usize);
+    let out_path = args.get_str("out").unwrap_or("BENCH_serve.json");
+    assert!(
+        query_pct + upsert_pct <= 100,
+        "query-pct + upsert-pct must leave a remove share"
+    );
+
+    let variants = [
+        PluginVariant::Original,
+        PluginVariant::LorentzCosh,
+        PluginVariant::FusionDist,
+    ];
+
+    print_header(
+        "serve_bench",
+        &format!(
+            "mixed serving load: n={n}, {ops} ops on {threads} threads, \
+             {query_pct}/{upsert_pct}/{}% query/upsert/remove, zipf s={zipf_s}",
+            100 - query_pct - upsert_pct
+        ),
+    );
+    let mut table = Table::new(&[
+        "variant",
+        "indexed",
+        "query QPS",
+        "q p50/p99 µs",
+        "upsert QPS",
+        "u p50/p99 µs",
+        "remove QPS",
+        "epochs",
+        "compactions",
+        "bit-id",
+    ]);
+    let mut rows_json = Vec::new();
+    for variant in variants {
+        let plugin = PluginConfig::paper_default().with_variant(variant);
+        let mut rng = StdRng::seed_from_u64(97 + n as u64);
+        let centers = mixture_centers(clusters, dim, &mut rng);
+        let base = synth_clustered(n, dim, &centers, &plugin, &mut rng);
+        let query_pool = synth_clustered(query_pool_size, dim, &centers, &plugin, &mut rng);
+        let store = ServingStore::new(
+            base,
+            (0..n as u64).collect(),
+            ServingOptions {
+                compact_threshold,
+                ..ServingOptions::default()
+            },
+        )
+        .expect("seed store");
+        // Writes target a zipf-hot id space twice the seed (hot updates
+        // of existing rows plus a cold tail of inserts).
+        let id_space = (n as u64).max(1) * 2;
+
+        let (lat, wall) = run_workload(
+            &store,
+            &query_pool,
+            &plugin,
+            &centers,
+            dim,
+            k,
+            ops,
+            threads,
+            query_pct,
+            upsert_pct,
+            id_space,
+            zipf_s,
+        );
+        let stats = store.stats();
+        let snap = store.snapshot();
+        let checked = assert_bit_identity(&snap, &query_pool, k, verify_queries);
+        println!(
+            "[serve_bench] bit-identity: PASS ({checked} sampled queries vs flat scan, \
+             {} live rows, variant {})",
+            snap.len(),
+            variant.name()
+        );
+
+        let mut class_json = Vec::new();
+        let mut cells = Vec::new();
+        for (ci, name) in CLASS_NAMES.iter().enumerate() {
+            let count = lat[ci].count();
+            let qps = count as f64 / wall;
+            let (p50, p95, p99) = lat[ci].percentiles();
+            class_json.push(format!(
+                "\"{name}\": {{\"count\": {count}, \"qps\": {qps:.2}, \
+                 \"p50_us\": {p50:.1}, \"p95_us\": {p95:.1}, \"p99_us\": {p99:.1}}}"
+            ));
+            cells.push((qps, p50, p99));
+        }
+        table.row(vec![
+            variant.name().to_string(),
+            format!("{}", snap.base_indexed()),
+            format!("{:.0}", cells[0].0),
+            format!("{:.0}/{:.0}", cells[0].1, cells[0].2),
+            format!("{:.0}", cells[1].0),
+            format!("{:.0}/{:.0}", cells[1].1, cells[1].2),
+            format!("{:.0}", cells[2].0),
+            format!("{}", stats.epoch),
+            format!("{}", stats.compactions),
+            "yes".to_string(),
+        ]);
+        rows_json.push(format!(
+            "    {{\"variant\": \"{}\", \"base_indexed\": {}, \"epoch\": {}, \
+             \"compactions\": {}, \"live_rows\": {}, \"wall_seconds\": {wall:.4}, \
+             \"bit_identical\": true, \"verify_queries\": {checked}, {}}}",
+            variant.name(),
+            snap.base_indexed(),
+            stats.epoch,
+            stats.compactions,
+            snap.len(),
+            class_json.join(", "),
+        ));
+        eprintln!("[serve_bench] {} done in {wall:.2}s", variant.name());
+    }
+    table.print();
+    println!(
+        "\nreads are lock-free snapshot scans (the RwLock guards only the\n\
+         pointer swap); writers publish O(delta) snapshots and fold the\n\
+         delta into a fresh indexed base every {compact_threshold} changes."
+    );
+
+    if args.flag("no-append") {
+        return;
+    }
+    let recorded = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let record = format!(
+        "  {{\n    \"schema\": \"serve-bench-v1\",\n    \"recorded_at_unix\": {recorded},\n    \
+         \"n\": {n},\n    \"dim\": {dim},\n    \"k\": {k},\n    \"ops\": {ops},\n    \
+         \"threads\": {threads},\n    \"zipf\": {zipf_s},\n    \
+         \"query_pct\": {query_pct},\n    \"upsert_pct\": {upsert_pct},\n    \
+         \"compact_threshold\": {compact_threshold},\n    \"rows\": [\n{}\n    ]\n  }}",
+        rows_json.join(",\n")
+    );
+    append_record(out_path, &record);
+    println!("\nappended record to {out_path}");
+}

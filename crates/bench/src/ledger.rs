@@ -1,0 +1,284 @@
+//! Structural validation for the committed benchmark ledgers.
+//!
+//! The repo tracks performance over time in append-only JSON ledgers
+//! (`BENCH_kernels.json`, `BENCH_retrieval.json`, `BENCH_serve.json`).
+//! Their value is longitudinal: a record that silently drops a field or
+//! an append that lands out of order quietly breaks every later
+//! comparison. This module pins each ledger's contract — schema tag,
+//! required fields per record and per row, monotone `recorded_at_unix`
+//! timestamps — and the `ledger_validate` binary fails CI on drift.
+//!
+//! Validation is structural, not semantic: it asserts the fields exist
+//! with the right JSON types, never that the numbers are good. (Judging
+//! regressions is a human's job; keeping the time series parseable is
+//! CI's.)
+
+use serde::Value;
+
+/// The contract one ledger's records must satisfy.
+pub struct LedgerSpec {
+    /// `schema` tag every record must carry.
+    pub schema: &'static str,
+    /// Required top-level fields per record (beyond `schema`,
+    /// `recorded_at_unix`, and `rows`, which are always required).
+    pub record_fields: &'static [&'static str],
+    /// Required fields per row.
+    pub row_fields: &'static [&'static str],
+    /// Per-row nested op-class objects and the fields each must carry
+    /// (the serving ledger's `query` / `upsert` / `remove` histograms).
+    pub op_classes: &'static [&'static str],
+    /// Required fields inside each op-class object.
+    pub op_class_fields: &'static [&'static str],
+}
+
+/// `BENCH_kernels.json`: wavefront vs scalar DP kernel throughput.
+pub const KERNEL_SPEC: LedgerSpec = LedgerSpec {
+    schema: "kernel-bench-v1",
+    record_fields: &["l", "pairs", "lanes"],
+    row_fields: &[
+        "measure",
+        "scalar_us_per_pair",
+        "wavefront_us_per_pair",
+        "speedup",
+    ],
+    op_classes: &[],
+    op_class_fields: &[],
+};
+
+/// `BENCH_retrieval.json`: flat vs indexed frozen-store serving.
+pub const RETRIEVAL_SPEC: LedgerSpec = LedgerSpec {
+    schema: "retrieval-bench-v1",
+    record_fields: &["dim", "k", "queries", "clusters"],
+    row_fields: &[
+        "n",
+        "variant",
+        "exact",
+        "flat_qps",
+        "indexed_qps",
+        "speedup",
+        "recall",
+        "bit_identical",
+    ],
+    op_classes: &[],
+    op_class_fields: &[],
+};
+
+/// `BENCH_serve.json`: mutable serving tier under a mixed workload.
+pub const SERVE_SPEC: LedgerSpec = LedgerSpec {
+    schema: "serve-bench-v1",
+    record_fields: &["n", "dim", "k", "ops", "threads", "zipf"],
+    row_fields: &[
+        "variant",
+        "base_indexed",
+        "epoch",
+        "compactions",
+        "wall_seconds",
+        "bit_identical",
+        "verify_queries",
+    ],
+    op_classes: &["query", "upsert", "remove"],
+    op_class_fields: &["count", "qps", "p50_us", "p95_us", "p99_us"],
+};
+
+/// The ledgers committed at the repo root, with their specs.
+pub const COMMITTED_LEDGERS: &[(&str, &LedgerSpec)] = &[
+    ("BENCH_kernels.json", &KERNEL_SPEC),
+    ("BENCH_retrieval.json", &RETRIEVAL_SPEC),
+    ("BENCH_serve.json", &SERVE_SPEC),
+];
+
+/// Looks up a spec by its schema tag.
+pub fn spec_for(schema: &str) -> Option<&'static LedgerSpec> {
+    COMMITTED_LEDGERS
+        .iter()
+        .map(|(_, spec)| *spec)
+        .find(|spec| spec.schema == schema)
+}
+
+/// What a valid ledger contained.
+#[derive(Debug, PartialEq, Eq)]
+pub struct LedgerReport {
+    /// Records in the ledger.
+    pub records: usize,
+    /// Total rows across records.
+    pub rows: usize,
+    /// First record's timestamp.
+    pub first_recorded: u64,
+    /// Last record's timestamp (≥ `first_recorded` by validation).
+    pub last_recorded: u64,
+}
+
+fn field<'v>(obj: &'v Value, key: &str, ctx: &str) -> Result<&'v Value, String> {
+    obj.get(key)
+        .ok_or_else(|| format!("{ctx}: missing field `{key}`"))
+}
+
+fn as_u64(v: &Value, ctx: &str) -> Result<u64, String> {
+    match v {
+        Value::Int(i) if *i >= 0 => Ok(*i as u64),
+        _ => Err(format!("{ctx}: expected a non-negative integer")),
+    }
+}
+
+/// Validates one ledger document against `spec`.
+pub fn validate_text(text: &str, spec: &LedgerSpec) -> Result<LedgerReport, String> {
+    let doc = Value::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let records = match &doc {
+        Value::Arr(records) => records,
+        _ => return Err("ledger must be a top-level JSON array".to_string()),
+    };
+    if records.is_empty() {
+        return Err("ledger holds no records".to_string());
+    }
+    let mut prev_recorded = 0u64;
+    let mut first_recorded = 0u64;
+    let mut total_rows = 0usize;
+    for (i, record) in records.iter().enumerate() {
+        let ctx = format!("record {i}");
+        if !matches!(record, Value::Obj(_)) {
+            return Err(format!("{ctx}: must be an object"));
+        }
+        let schema = field(record, "schema", &ctx)?
+            .as_str()
+            .ok_or_else(|| format!("{ctx}: `schema` must be a string"))?;
+        if schema != spec.schema {
+            return Err(format!(
+                "{ctx}: schema `{schema}` does not match expected `{}`",
+                spec.schema
+            ));
+        }
+        let recorded = as_u64(
+            field(record, "recorded_at_unix", &ctx)?,
+            &format!("{ctx}: `recorded_at_unix`"),
+        )?;
+        if recorded == 0 {
+            return Err(format!("{ctx}: `recorded_at_unix` is zero"));
+        }
+        if recorded < prev_recorded {
+            return Err(format!(
+                "{ctx}: `recorded_at_unix` {recorded} precedes previous record's \
+                 {prev_recorded} — appends must be chronological"
+            ));
+        }
+        prev_recorded = recorded;
+        if i == 0 {
+            first_recorded = recorded;
+        }
+        for &key in spec.record_fields {
+            field(record, key, &ctx)?;
+        }
+        let rows = match field(record, "rows", &ctx)? {
+            Value::Arr(rows) => rows,
+            _ => return Err(format!("{ctx}: `rows` must be an array")),
+        };
+        if rows.is_empty() {
+            return Err(format!("{ctx}: `rows` is empty"));
+        }
+        total_rows += rows.len();
+        for (j, row) in rows.iter().enumerate() {
+            let rctx = format!("record {i} row {j}");
+            for &key in spec.row_fields {
+                field(row, key, &rctx)?;
+            }
+            for &class in spec.op_classes {
+                let op = field(row, class, &rctx)?;
+                for &key in spec.op_class_fields {
+                    field(op, key, &format!("{rctx} `{class}`"))?;
+                }
+            }
+        }
+    }
+    Ok(LedgerReport {
+        records: records.len(),
+        rows: total_rows,
+        first_recorded,
+        last_recorded: prev_recorded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_record(at: u64) -> String {
+        format!(
+            "{{\"schema\": \"kernel-bench-v1\", \"recorded_at_unix\": {at}, \
+             \"l\": 128, \"pairs\": 256, \"lanes\": 8, \"rows\": [\
+             {{\"measure\": \"DTW\", \"scalar_us_per_pair\": 1.0, \
+             \"wavefront_us_per_pair\": 0.5, \"speedup\": 2.0}}]}}"
+        )
+    }
+
+    #[test]
+    fn valid_ledger_passes() {
+        let text = format!("[{}, {}]", kernel_record(100), kernel_record(200));
+        let report = validate_text(&text, &KERNEL_SPEC).expect("valid");
+        assert_eq!(
+            report,
+            LedgerReport {
+                records: 2,
+                rows: 2,
+                first_recorded: 100,
+                last_recorded: 200,
+            }
+        );
+    }
+
+    #[test]
+    fn drift_is_rejected() {
+        // Out-of-order timestamps.
+        let text = format!("[{}, {}]", kernel_record(200), kernel_record(100));
+        assert!(validate_text(&text, &KERNEL_SPEC)
+            .unwrap_err()
+            .contains("chronological"));
+        // Wrong schema tag.
+        let text = format!("[{}]", kernel_record(100)).replace("kernel-bench-v1", "kernel-v2");
+        assert!(validate_text(&text, &KERNEL_SPEC)
+            .unwrap_err()
+            .contains("schema"));
+        // A dropped row field.
+        let text = format!("[{}]", kernel_record(100)).replace("\"speedup\": 2.0", "\"x\": 2.0");
+        assert!(validate_text(&text, &KERNEL_SPEC)
+            .unwrap_err()
+            .contains("speedup"));
+        // Empty array, not JSON, empty rows.
+        assert!(validate_text("[]", &KERNEL_SPEC).is_err());
+        assert!(validate_text("not json", &KERNEL_SPEC).is_err());
+        let text = format!("[{}]", kernel_record(100)).replace(
+            "\"rows\": [{\"measure\": \"DTW\", \"scalar_us_per_pair\": 1.0, \
+             \"wavefront_us_per_pair\": 0.5, \"speedup\": 2.0}]",
+            "\"rows\": []",
+        );
+        assert!(validate_text(&text, &KERNEL_SPEC).is_err());
+    }
+
+    #[test]
+    fn serve_spec_checks_op_classes() {
+        let op = "{\"count\": 10, \"qps\": 5.0, \"p50_us\": 1.0, \"p95_us\": 2.0, \"p99_us\": 3.0}";
+        let row = format!(
+            "{{\"variant\": \"original\", \"base_indexed\": true, \"epoch\": 3, \
+             \"compactions\": 1, \"wall_seconds\": 0.5, \"bit_identical\": true, \
+             \"verify_queries\": 8, \"query\": {op}, \"upsert\": {op}, \"remove\": {op}}}"
+        );
+        let text = format!(
+            "[{{\"schema\": \"serve-bench-v1\", \"recorded_at_unix\": 9, \"n\": 100, \
+             \"dim\": 4, \"k\": 5, \"ops\": 50, \"threads\": 2, \"zipf\": 1.1, \
+             \"rows\": [{row}]}}]"
+        );
+        assert!(validate_text(&text, &SERVE_SPEC).is_ok());
+        let broken = text.replace(
+            "\"p99_us\": 3.0}, \"remove\"",
+            "\"p98_us\": 3.0}, \"remove\"",
+        );
+        assert!(validate_text(&broken, &SERVE_SPEC)
+            .unwrap_err()
+            .contains("p99_us"));
+    }
+
+    #[test]
+    fn spec_lookup_by_schema() {
+        assert!(spec_for("serve-bench-v1").is_some());
+        assert!(spec_for("kernel-bench-v1").is_some());
+        assert!(spec_for("unknown-v1").is_none());
+    }
+}

@@ -7,9 +7,11 @@
 //! (small enough for CPU, large enough to show the paper's shapes).
 
 pub mod args;
+pub mod ledger;
 pub mod perf;
 pub mod printer;
 pub mod scales;
+pub mod synth;
 
 pub use args::Args;
 pub use perf::{append_record, best_of};

@@ -44,6 +44,7 @@ pub use pipeline::{run_experiment, ExperimentOutcome, ExperimentSpec};
 pub use projection::project_rows;
 pub use retrieval::{
     BoundSpace, DistanceKernel, EmbeddingStore, IndexParams, IndexedStore, ProbeStats,
-    RetrievalResult, ShardedStore, StoreDecodeError,
+    RetrievalResult, ServeError, ServeHit, ServeStats, ServingOptions, ServingStore, ShardedStore,
+    Snapshot, StoreDecodeError,
 };
 pub use trainer::{LhModel, TrainReport, Trainer, TrainerConfig};

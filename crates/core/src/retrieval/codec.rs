@@ -12,11 +12,13 @@
 //!
 //! The legacy encoder pushed one `put_f32_le` per element and the decoder
 //! popped one `get_f32_le` per element; both now stream whole buffers as
-//! byte chunks. Decoding validates every length against the remaining
-//! bytes *before* reading and cross-checks the buffer lengths against
-//! `n`/`dim`/`variant`, so truncated or corrupt payloads return a
-//! [`StoreDecodeError`] instead of panicking mid-read.
+//! byte chunks via the shared `codec_util` helpers. Decoding
+//! validates every length against the remaining bytes *before* reading
+//! and cross-checks the buffer lengths against `n`/`dim`/`variant`, so
+//! truncated or corrupt payloads return a [`StoreDecodeError`] instead of
+//! panicking mid-read.
 
+use super::codec_util::{guard, put_f32_chunk, take_f32_chunk, take_u64};
 use super::store::EmbeddingStore;
 use crate::config::PluginVariant;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -99,57 +101,6 @@ impl std::fmt::Display for StoreDecodeError {
 }
 
 impl std::error::Error for StoreDecodeError {}
-
-/// Values per bulk block: 16 KiB of stack scratch, far above the point
-/// where `put_slice` amortizes, far below anything that matters to RSS.
-const CHUNK_VALUES: usize = 4096;
-
-/// Appends a length-prefixed f32 buffer as bulk little-endian byte
-/// chunks (bounded scratch; never materializes the whole buffer twice).
-fn put_f32_chunk(buf: &mut BytesMut, vals: &[f32]) {
-    buf.put_u64_le(vals.len() as u64);
-    let mut raw = [0u8; CHUNK_VALUES * 4];
-    for block in vals.chunks(CHUNK_VALUES) {
-        let bytes = &mut raw[..block.len() * 4];
-        for (dst, v) in bytes.chunks_exact_mut(4).zip(block) {
-            dst.copy_from_slice(&v.to_le_bytes());
-        }
-        buf.put_slice(bytes);
-    }
-}
-
-/// Checks `needed` bytes remain before a read.
-fn guard(data: &Bytes, field: &'static str, needed: usize) -> Result<(), StoreDecodeError> {
-    let remaining = data.remaining();
-    if remaining < needed {
-        return Err(StoreDecodeError::Truncated {
-            field,
-            needed,
-            remaining,
-        });
-    }
-    Ok(())
-}
-
-fn take_u64(data: &mut Bytes, field: &'static str) -> Result<u64, StoreDecodeError> {
-    guard(data, field, 8)?;
-    Ok(data.get_u64_le())
-}
-
-/// Reads a length-prefixed f32 buffer as one byte chunk.
-fn take_f32_chunk(data: &mut Bytes, field: &'static str) -> Result<Vec<f32>, StoreDecodeError> {
-    let len = take_u64(data, field)? as usize;
-    let byte_len = len
-        .checked_mul(4)
-        .ok_or(StoreDecodeError::HeaderOverflow { field })?;
-    guard(data, field, byte_len)?;
-    let out = data.as_slice()[..byte_len]
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
-    data.advance(byte_len);
-    Ok(out)
-}
 
 impl EmbeddingStore {
     /// Compact binary serialization (length-prefixed little-endian f32

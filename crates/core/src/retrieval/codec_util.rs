@@ -1,0 +1,174 @@
+//! Shared low-level helpers for the retrieval binary codecs.
+//!
+//! The store codec ([`super::codec`]), the index codec
+//! (`super::index::codec`), and the serving tier's WAL/checkpoint codec
+//! (`super::serve::wal`) all follow the same wire conventions: every
+//! length is validated against the remaining bytes *before* reading
+//! (never trust a declared length), size products use checked arithmetic
+//! so absurd headers error instead of wrapping past validation, and f32
+//! buffers are streamed as whole little-endian byte chunks with bounded
+//! scratch. This module is the single home of those helpers; the codecs
+//! keep only their format-specific structure on top.
+
+use super::codec::StoreDecodeError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Values per bulk block: 16 KiB of stack scratch, far above the point
+/// where `put_slice` amortizes, far below anything that matters to RSS.
+const CHUNK_VALUES: usize = 4096;
+
+/// Checks `needed` bytes remain before a read.
+pub(crate) fn guard(
+    data: &Bytes,
+    field: &'static str,
+    needed: usize,
+) -> Result<(), StoreDecodeError> {
+    let remaining = data.remaining();
+    if remaining < needed {
+        return Err(StoreDecodeError::Truncated {
+            field,
+            needed,
+            remaining,
+        });
+    }
+    Ok(())
+}
+
+/// Reads one little-endian u64 after a bounds check.
+pub(crate) fn take_u64(data: &mut Bytes, field: &'static str) -> Result<u64, StoreDecodeError> {
+    guard(data, field, 8)?;
+    Ok(data.get_u64_le())
+}
+
+/// Reads `len` raw bytes as an owned chunk (nested payloads, id arrays).
+pub(crate) fn take_chunk(
+    data: &mut Bytes,
+    field: &'static str,
+    len: usize,
+) -> Result<Vec<u8>, StoreDecodeError> {
+    guard(data, field, len)?;
+    let out = data.as_slice()[..len].to_vec();
+    data.advance(len);
+    Ok(out)
+}
+
+/// Appends a length-prefixed f32 buffer as bulk little-endian byte
+/// chunks (bounded scratch; never materializes the whole buffer twice).
+pub(crate) fn put_f32_chunk(buf: &mut BytesMut, vals: &[f32]) {
+    buf.put_u64_le(vals.len() as u64);
+    let mut raw = [0u8; CHUNK_VALUES * 4];
+    for block in vals.chunks(CHUNK_VALUES) {
+        let bytes = &mut raw[..block.len() * 4];
+        for (dst, v) in bytes.chunks_exact_mut(4).zip(block) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
+        buf.put_slice(bytes);
+    }
+}
+
+/// Reads a length-prefixed f32 buffer as one byte chunk.
+pub(crate) fn take_f32_chunk(
+    data: &mut Bytes,
+    field: &'static str,
+) -> Result<Vec<f32>, StoreDecodeError> {
+    let len = take_u64(data, field)? as usize;
+    let byte_len = len
+        .checked_mul(4)
+        .ok_or(StoreDecodeError::HeaderOverflow { field })?;
+    guard(data, field, byte_len)?;
+    let out = data.as_slice()[..byte_len]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+    data.advance(byte_len);
+    Ok(out)
+}
+
+/// Reads `count` little-endian f64 values (unprefixed — the caller knows
+/// the count from its own header) after a checked size computation.
+pub(crate) fn take_f64_values(
+    data: &mut Bytes,
+    field: &'static str,
+    count: usize,
+) -> Result<Vec<f64>, StoreDecodeError> {
+    let byte_len = count
+        .checked_mul(8)
+        .ok_or(StoreDecodeError::HeaderOverflow { field })?;
+    let raw = take_chunk(data, field, byte_len)?;
+    Ok(raw
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect())
+}
+
+/// Reads `count` little-endian u32 values (unprefixed) after a checked
+/// size computation.
+pub(crate) fn take_u32_values(
+    data: &mut Bytes,
+    field: &'static str,
+    count: usize,
+) -> Result<Vec<u32>, StoreDecodeError> {
+    let byte_len = count
+        .checked_mul(4)
+        .ok_or(StoreDecodeError::HeaderOverflow { field })?;
+    let raw = take_chunk(data, field, byte_len)?;
+    Ok(raw
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_chunk_roundtrips_and_guards() {
+        let vals: Vec<f32> = (0..10_000).map(|i| i as f32 * 0.5 - 7.0).collect();
+        let mut buf = BytesMut::new();
+        put_f32_chunk(&mut buf, &vals);
+        let mut data = buf.freeze();
+        let back = take_f32_chunk(&mut data, "vals").expect("valid chunk");
+        assert_eq!(back, vals);
+        assert!(data.is_empty());
+
+        // Truncated payload errors instead of panicking.
+        let mut buf = BytesMut::new();
+        put_f32_chunk(&mut buf, &vals);
+        let full = buf.freeze().to_vec();
+        let mut cut = Bytes::from(full[..full.len() - 1].to_vec());
+        assert!(take_f32_chunk(&mut cut, "vals").is_err());
+    }
+
+    #[test]
+    fn declared_length_overflow_errors() {
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(u64::MAX); // len · 4 would wrap
+        let mut data = buf.freeze();
+        assert!(matches!(
+            take_f32_chunk(&mut data, "vals"),
+            Err(StoreDecodeError::HeaderOverflow { .. }) | Err(StoreDecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn fixed_count_readers_roundtrip() {
+        let mut buf = BytesMut::new();
+        for v in [1.5f64, -2.25, f64::INFINITY] {
+            buf.put_f64_le(v);
+        }
+        for v in [7u32, 0, u32::MAX] {
+            buf.put_u32_le(v);
+        }
+        let mut data = buf.freeze();
+        let f = take_f64_values(&mut data, "f", 3).unwrap();
+        assert_eq!(f, vec![1.5, -2.25, f64::INFINITY]);
+        let u = take_u32_values(&mut data, "u", 3).unwrap();
+        assert_eq!(u, vec![7, 0, u32::MAX]);
+        assert!(data.is_empty());
+        // Asking for more than remains errors.
+        let mut empty = Bytes::from(Vec::new());
+        assert!(take_f64_values(&mut empty, "f", 1).is_err());
+        assert!(take_u32_values(&mut empty, "u", 1).is_err());
+    }
+}

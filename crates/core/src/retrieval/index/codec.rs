@@ -35,6 +35,7 @@
 //! [`StoreDecodeError`], never panic.
 
 use super::super::codec::StoreDecodeError;
+use super::super::codec_util::{guard, take_chunk, take_f64_values, take_u32_values, take_u64};
 use super::super::store::EmbeddingStore;
 use super::bound::BoundSpace;
 use super::{IndexCell, IndexedStore, LandmarkBlock};
@@ -45,36 +46,6 @@ const MAGIC: u32 = u32::from_le_bytes(*b"LHIX");
 const VERSION: u32 = 2;
 /// Landmark-free layout, still accepted on decode.
 const VERSION_NO_LANDMARKS: u32 = 1;
-
-/// Checks `needed` bytes remain before a read.
-fn guard(data: &Bytes, field: &'static str, needed: usize) -> Result<(), StoreDecodeError> {
-    let remaining = data.remaining();
-    if remaining < needed {
-        return Err(StoreDecodeError::Truncated {
-            field,
-            needed,
-            remaining,
-        });
-    }
-    Ok(())
-}
-
-fn take_u64(data: &mut Bytes, field: &'static str) -> Result<u64, StoreDecodeError> {
-    guard(data, field, 8)?;
-    Ok(data.get_u64_le())
-}
-
-/// Reads `len` raw bytes as an owned chunk (for nested store payloads).
-fn take_chunk(
-    data: &mut Bytes,
-    field: &'static str,
-    len: usize,
-) -> Result<Vec<u8>, StoreDecodeError> {
-    guard(data, field, len)?;
-    let out = data.as_slice()[..len].to_vec();
-    data.advance(len);
-    Ok(out)
-}
 
 /// Reads a nested length-prefixed [`EmbeddingStore`] payload.
 fn take_store(data: &mut Bytes, field: &'static str) -> Result<EmbeddingStore, StoreDecodeError> {
@@ -174,22 +145,8 @@ impl IndexedStore {
         let mut cells = Vec::with_capacity(n_cells.min(1 << 20));
         for _ in 0..n_cells {
             let m = take_u64(&mut data, "cell members")? as usize;
-            let member_bytes = m.checked_mul(4).ok_or(StoreDecodeError::HeaderOverflow {
-                field: "cell members",
-            })?;
-            let raw_members = take_chunk(&mut data, "cell members", member_bytes)?;
-            let members: Vec<u32> = raw_members
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect();
-            let dcx_bytes = m
-                .checked_mul(8)
-                .ok_or(StoreDecodeError::HeaderOverflow { field: "cell dcx" })?;
-            let raw_dcx = take_chunk(&mut data, "cell dcx", dcx_bytes)?;
-            let dcx: Vec<f64> = raw_dcx
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
-                .collect();
+            let members = take_u32_values(&mut data, "cell members", m)?;
+            let dcx = take_f64_values(&mut data, "cell dcx", m)?;
             for &member in &members {
                 let mi = member as usize;
                 if mi >= n {
@@ -250,16 +207,10 @@ impl IndexedStore {
                         actual: rows.dim(),
                     });
                 }
-                let dlx_bytes = n.checked_mul(k).and_then(|e| e.checked_mul(8)).ok_or(
-                    StoreDecodeError::HeaderOverflow {
-                        field: "landmark features",
-                    },
-                )?;
-                let raw_dlx = take_chunk(&mut data, "landmark features", dlx_bytes)?;
-                let dlx: Vec<f64> = raw_dlx
-                    .chunks_exact(8)
-                    .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
-                    .collect();
+                let count = n.checked_mul(k).ok_or(StoreDecodeError::HeaderOverflow {
+                    field: "landmark features",
+                })?;
+                let dlx = take_f64_values(&mut data, "landmark features", count)?;
                 Some(LandmarkBlock { rows, dlx })
             }
         } else {

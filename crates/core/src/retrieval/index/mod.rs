@@ -310,6 +310,27 @@ impl IndexedStore {
         qi: usize,
         k: usize,
     ) -> (Vec<RetrievalResult>, ProbeStats) {
+        let (top, stats) = self.knn_topk_masked(queries, qi, k, None);
+        (results_from_topk(top), stats)
+    }
+
+    /// The masked probe core: top-k as a raw [`TopK`] heap (keys are
+    /// store row ids), skipping rows flagged in `dead`.
+    ///
+    /// This is the serving tier's delta-overlay entry point: a compacted
+    /// base keeps its index attached while later removals tombstone rows,
+    /// and the probe must never let a tombstoned row occupy a heap slot
+    /// (filtering after selection would displace live rows). Skipping
+    /// rows only ever *raises* the running k-th-best threshold τ, so
+    /// every triangle-inequality and landmark bound stays admissible and
+    /// masked indexed results remain bit-identical to a masked flat scan.
+    pub(crate) fn knn_topk_masked(
+        &self,
+        queries: &EmbeddingStore,
+        qi: usize,
+        k: usize,
+        dead: Option<&[bool]>,
+    ) -> (TopK, ProbeStats) {
         let mut stats = ProbeStats {
             queries: 1,
             cells: self.cells.len(),
@@ -317,7 +338,7 @@ impl IndexedStore {
             ..ProbeStats::default()
         };
         if k == 0 || self.store.is_empty() {
-            return (Vec::new(), stats);
+            return (TopK::new(k), stats);
         }
 
         // One O(num_cells · d) centroid scan, then bound-space mapping
@@ -358,6 +379,7 @@ impl IndexedStore {
                 pl.as_deref(),
                 &order,
                 k,
+                dead,
                 &mut stats,
             ),
             PluginVariant::LorentzVanilla | PluginVariant::LorentzCosh => self.probe(
@@ -366,6 +388,7 @@ impl IndexedStore {
                 pl.as_deref(),
                 &order,
                 k,
+                dead,
                 &mut stats,
             ),
             PluginVariant::FusionDist => self.probe(
@@ -374,10 +397,11 @@ impl IndexedStore {
                 pl.as_deref(),
                 &order,
                 k,
+                dead,
                 &mut stats,
             ),
         };
-        (results_from_topk(top), stats)
+        (top, stats)
     }
 
     /// Batched top-k, parallel across queries.
@@ -414,7 +438,10 @@ impl IndexedStore {
     /// changes — Lorentz mapping costs an `acosh`). Member pruning
     /// composes the centroid bound with the second-level landmark bound
     /// (`pl` = the query's feature row) tightest-wins: either certifying
-    /// `d(q,x) > τ` skips the kernel evaluation.
+    /// `d(q,x) > τ` skips the kernel evaluation. Rows flagged in `dead`
+    /// (serving-tier tombstones) are skipped before any bound fires and
+    /// are counted in neither the scanned nor the pruned tallies.
+    #[allow(clippy::too_many_arguments)] // internal, monomorphized per kernel
     fn probe<K: DistanceKernel>(
         &self,
         kern: &K,
@@ -422,6 +449,7 @@ impl IndexedStore {
         pl: Option<&[f64]>,
         order: &[(f64, u32)],
         k: usize,
+        dead: Option<&[bool]>,
         stats: &mut ProbeStats,
     ) -> TopK {
         let dim = self.store.dim();
@@ -461,6 +489,10 @@ impl IndexedStore {
                 f64::INFINITY
             };
             for (&m, &dc) in cell.members.iter().zip(&cell.dcx) {
+                // Tombstoned rows are not part of the live snapshot.
+                if dead.is_some_and(|d| d[m as usize]) {
+                    continue;
+                }
                 // Member bound: d(q,x) ≥ |d(q,c) − d(c,x)|.
                 if metric && (pqj - dc).abs() > thresh {
                     stats.rows_pruned += 1;

@@ -158,6 +158,55 @@ fn topk_scan<K: DistanceKernel>(kernel: &K, k: usize, start: usize, end: usize) 
     top
 }
 
+/// Masked offering scan over one kernel: feeds every unmasked row into an
+/// existing heap, offsetting offered keys by `key_offset`. This is the
+/// serving snapshot's overlay scan — `dead` marks tombstoned rows that
+/// must never reach the heap (filtering *after* selection could let a
+/// dead row displace a live one), and the key offset places delta rows
+/// after the base keyspace so tie-breaks match a flat scan of the
+/// materialized snapshot.
+fn masked_offer_scan<K: DistanceKernel>(
+    kernel: &K,
+    dead: Option<&[bool]>,
+    key_offset: usize,
+    top: &mut TopK,
+) {
+    for di in 0..kernel.len() {
+        if dead.is_some_and(|d| d[di]) {
+            continue;
+        }
+        top.offer(key_offset + di, kernel.distance_to(di) as f64);
+    }
+}
+
+/// Masked, key-offset scan of every row of `db` into `top` (the variant
+/// `match` happens exactly once; see [`masked_offer_scan`]).
+pub(crate) fn scan_offer_masked(
+    db: &EmbeddingStore,
+    queries: &EmbeddingStore,
+    qi: usize,
+    dead: Option<&[bool]>,
+    key_offset: usize,
+    top: &mut TopK,
+) {
+    debug_assert_eq!(db.variant, queries.variant);
+    debug_assert!(dead.map_or(true, |d| d.len() == db.n));
+    match db.variant {
+        PluginVariant::Original => masked_offer_scan(
+            &EuclideanKernel::bind(db, queries, qi),
+            dead,
+            key_offset,
+            top,
+        ),
+        PluginVariant::LorentzVanilla | PluginVariant::LorentzCosh => {
+            masked_offer_scan(&LorentzKernel::bind(db, queries, qi), dead, key_offset, top)
+        }
+        PluginVariant::FusionDist => {
+            masked_offer_scan(&FusedKernel::bind(db, queries, qi), dead, key_offset, top)
+        }
+    }
+}
+
 /// Full distance row over one kernel (monomorphized per kernel type).
 fn row_scan<K: DistanceKernel>(kernel: &K) -> Vec<f64> {
     (0..kernel.len())

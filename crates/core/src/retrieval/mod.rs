@@ -24,7 +24,15 @@
 //!   non-metric fused distance — the paper's metric-violation thesis made
 //!   operational at serving time;
 //! * [`codec`] — streaming little-endian payload (de)serialization with
-//!   corruption guards ([`StoreDecodeError`]).
+//!   corruption guards ([`StoreDecodeError`]);
+//! * [`serve`] — [`ServingStore`]: the mutable serving tier. Writers
+//!   apply incremental upserts/removals into a delta segment and publish
+//!   immutable epoch snapshots behind an `RwLock<Arc<_>>` pointer swap,
+//!   so `knn_batch` readers never block on writers; compaction folds the
+//!   delta back into an indexed base, and a WAL + atomic-rename
+//!   checkpoint make the whole thing crash-safe. Snapshot reads are
+//!   bit-identical to a flat scan of the live rows — the frozen tiers'
+//!   determinism contract carried into a mutable store.
 //!
 //! Ranking everywhere goes through `traj_core::topk::TopK` — O(n log k),
 //! `total_cmp`-deterministic with index tie-break — so the single-query
@@ -32,8 +40,10 @@
 //! path, and `traj_dist::DistanceMatrix::knn_of_row` all agree exactly.
 
 pub mod codec;
+pub(crate) mod codec_util;
 pub mod index;
 pub mod kernel;
+pub mod serve;
 pub mod shard;
 pub mod store;
 
@@ -42,5 +52,7 @@ pub use index::bound::BoundSpace;
 pub use index::build::IndexParams;
 pub use index::{IndexedStore, ProbeStats};
 pub use kernel::DistanceKernel;
+pub use serve::snapshot::Snapshot;
+pub use serve::{ServeError, ServeHit, ServeStats, ServingOptions, ServingStore};
 pub use shard::{ShardedStore, DEFAULT_SHARD_ROWS};
 pub use store::{EmbeddingStore, RetrievalResult};

@@ -72,6 +72,32 @@ impl EmbeddingStore {
         self.n += 1;
     }
 
+    /// Appends row `i` of `src`, which must share this store's layout
+    /// (variant, width, factor width). The copy is bytewise over the flat
+    /// `f32` buffers, so the appended row serves bit-identical distances
+    /// — the serving tier's compaction and snapshot materialization
+    /// depend on this.
+    pub fn push_row_from(&mut self, src: &EmbeddingStore, i: usize) {
+        assert_eq!(self.variant, src.variant, "variant mismatch");
+        assert_eq!(self.dim, src.dim, "width mismatch");
+        assert_eq!(self.factor_dim, src.factor_dim, "factor width mismatch");
+        self.eu.extend_from_slice(src.eu_row(i));
+        if self.variant.uses_hyperbolic() {
+            self.hyper.extend_from_slice(src.hyper_row(i));
+        }
+        if self.factor_dim.is_some() {
+            self.factors.extend_from_slice(src.factor_row(i));
+        }
+        self.n += 1;
+    }
+
+    /// An empty store with this store's exact layout (variant, width,
+    /// curvature, factor width) — the template the serving tier grows
+    /// delta segments and compacted bases from.
+    pub fn empty_like(&self) -> EmbeddingStore {
+        EmbeddingStore::new(self.dim, self.variant, self.beta, self.factor_dim)
+    }
+
     /// Number of stored trajectories.
     pub fn len(&self) -> usize {
         self.n
