@@ -19,19 +19,22 @@ use lh_bench::ledger::{self, LedgerSpec};
 use lh_bench::Args;
 use serde::Value;
 
-fn check(path: &str, spec: &LedgerSpec) -> Result<(), String> {
+fn check(path: &str, specs: &[&LedgerSpec]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
-    let report = ledger::validate_text(&text, spec).map_err(|e| format!("{path}: {e}"))?;
+    let report = ledger::validate_text(&text, specs).map_err(|e| format!("{path}: {e}"))?;
+    let schemas: Vec<&str> = specs.iter().map(|s| s.schema).collect();
     println!(
-        "[ledger_validate] {path}: OK — {} record(s), {} row(s), schema {}, \
+        "[ledger_validate] {path}: OK — {} record(s), {} row(s), schemas {schemas:?}, \
          recorded {}..{}",
-        report.records, report.rows, spec.schema, report.first_recorded, report.last_recorded
+        report.records, report.rows, report.first_recorded, report.last_recorded
     );
     Ok(())
 }
 
-/// Infers the spec for `path` from its first record's `schema` tag.
-fn infer_spec(path: &str) -> Result<&'static LedgerSpec, String> {
+/// Infers the spec set for `path` from its first record's `schema` tag:
+/// the whole ledger family that tag belongs to, so a file mixing
+/// generations (like the committed serve ledger) validates fully.
+fn infer_specs(path: &str) -> Result<&'static [&'static LedgerSpec], String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: cannot read: {e}"))?;
     let doc = Value::parse(&text).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
     let first = match &doc {
@@ -44,29 +47,35 @@ fn infer_spec(path: &str) -> Result<&'static LedgerSpec, String> {
         .get("schema")
         .and_then(Value::as_str)
         .ok_or_else(|| format!("{path}: first record has no `schema` string"))?;
-    ledger::spec_for(tag).ok_or_else(|| format!("{path}: unknown schema `{tag}`"))
+    ledger::family_for(tag).ok_or_else(|| format!("{path}: unknown schema `{tag}`"))
 }
 
 fn main() {
     let args = Args::parse();
     let mut failures = 0usize;
     if let Some(path) = args.get_str("file") {
-        let spec = match args.get_str("schema") {
-            Some(tag) => ledger::spec_for(tag).unwrap_or_else(|| panic!("unknown schema `{tag}`")),
-            None => match infer_spec(path) {
-                Ok(spec) => spec,
+        let single: [&LedgerSpec; 1];
+        let specs: &[&LedgerSpec] = match args.get_str("schema") {
+            Some(tag) => {
+                // An explicit tag pins exactly that generation.
+                single =
+                    [ledger::spec_for(tag).unwrap_or_else(|| panic!("unknown schema `{tag}`"))];
+                &single
+            }
+            None => match infer_specs(path) {
+                Ok(specs) => specs,
                 Err(e) => {
                     eprintln!("[ledger_validate] FAIL — {e}");
                     std::process::exit(1);
                 }
             },
         };
-        if let Err(e) = check(path, spec) {
+        if let Err(e) = check(path, specs) {
             eprintln!("[ledger_validate] FAIL — {e}");
             failures += 1;
         }
     } else {
-        for (path, spec) in ledger::COMMITTED_LEDGERS {
+        for (path, specs) in ledger::COMMITTED_LEDGERS {
             if !std::path::Path::new(path).exists() {
                 if args.flag("allow-missing") {
                     println!("[ledger_validate] {path}: missing (allowed)");
@@ -79,7 +88,7 @@ fn main() {
                 failures += 1;
                 continue;
             }
-            if let Err(e) = check(path, spec) {
+            if let Err(e) = check(path, specs) {
                 eprintln!("[ledger_validate] FAIL — {e}");
                 failures += 1;
             }

@@ -1,0 +1,177 @@
+//! A concurrent log-linear latency histogram (HDR-style).
+//!
+//! The closed-loop bench could afford a `Vec<f64>` of samples per worker,
+//! merged and sorted at the end. The open-loop bench cannot: latency is
+//! measured against each op's *scheduled arrival time* (the
+//! coordinated-omission-safe definition — an op delayed by a backed-up
+//! store books the backlog it actually suffered), so all workers record
+//! into one shared structure as they go, and tail percentiles must
+//! survive millions of samples without per-op allocation.
+//!
+//! Buckets are log-linear over nanoseconds: exact below 64 ns, then 64
+//! linear sub-buckets per power of two — bounded relative error of
+//! 1/64 ≈ 1.6% at every scale, ~3.8 k fixed `AtomicU64` buckets for the
+//! full `u64` range. `record` is two relaxed atomic ops (bucket increment
+//! + exact-max update); percentile reads are meant for after the run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power of two (and the width of the exact
+/// low range).
+const SUB_BITS: u32 = 6;
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count for the full u64 range: the exact range plus one block
+/// of `SUB` per remaining leading-bit position.
+const BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * SUB as usize;
+
+/// Bucket index of a nanosecond value. Strictly monotone (never maps a
+/// larger value below a smaller one's bucket).
+fn bucket_of(nanos: u64) -> usize {
+    if nanos < SUB {
+        return nanos as usize;
+    }
+    let exp = 63 - nanos.leading_zeros(); // position of the leading bit, >= SUB_BITS
+    let shift = exp - SUB_BITS;
+    let sub = (nanos >> shift) & (SUB - 1);
+    ((shift as u64 + 1) * SUB + sub) as usize
+}
+
+/// Midpoint of a bucket, in nanoseconds — the value percentiles report.
+fn value_of(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUB {
+        return index;
+    }
+    let shift = (index / SUB - 1) as u32;
+    let base = (SUB + index % SUB) << shift;
+    base + (1u64 << shift) / 2
+}
+
+/// A fixed-size concurrent histogram of nanosecond latencies. See the
+/// module docs for the bucket layout and error bound.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Exact maximum (not bucket-rounded): the outlier bound asserts
+    /// against this, so it must not benefit from bucketing slack.
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram covering the full `u64` nanosecond range.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum sample, in microseconds (0 when empty).
+    pub fn max_us(&self) -> f64 {
+        self.max.load(Ordering::Relaxed) as f64 / 1e3
+    }
+
+    /// The `p`-th percentile in microseconds, to the histogram's ~1.6%
+    /// resolution. Matches the order-statistic convention of the
+    /// closed-loop bench: the `floor(count * p / 100)`-th sample
+    /// (0-based) of the sorted sequence, clamped to the last.
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = (((count as f64) * p / 100.0) as u64).min(count - 1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen > rank {
+                return value_of(i) as f64 / 1e3;
+            }
+        }
+        self.max_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_bounded() {
+        let mut prev = 0usize;
+        for exp in 0..64u32 {
+            let lo = 1u64 << exp;
+            let mut probes = vec![lo, lo + 1];
+            if exp >= 1 {
+                probes.push(lo + lo / 2); // mid-range of the power, no overflow
+            }
+            for probe in probes {
+                let b = bucket_of(probe);
+                assert!(b < BUCKETS, "bucket {b} out of range for {probe}");
+                assert!(b >= prev, "monotone: {probe} → {b} < prev {prev}");
+                prev = prev.max(b);
+            }
+        }
+        assert!(bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn value_of_stays_within_bucket_error() {
+        for &v in &[1u64, 63, 64, 100, 1_000, 65_535, 1_000_000, 123_456_789] {
+            let mid = value_of(bucket_of(v));
+            let err = (mid as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 64.0 + 1e-9, "value {v} → {mid}: err {err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_match_exact_on_uniform_data() {
+        let h = Histogram::new();
+        // 1..=1000 µs in nanoseconds: p50 ≈ 500 µs within bucket error.
+        for us in 1..=1000u64 {
+            h.record(us * 1_000);
+        }
+        assert_eq!(h.count(), 1000);
+        for (p, expect) in [(50.0, 501.0), (95.0, 951.0), (99.0, 991.0), (99.9, 1000.0)] {
+            let got = h.percentile_us(p);
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.02, "p{p}: got {got}, expect ~{expect}");
+        }
+        assert_eq!(h.max_us(), 1000.0, "max is exact, not bucket-rounded");
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 17 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+    }
+}

@@ -63,7 +63,9 @@ pub const RETRIEVAL_SPEC: LedgerSpec = LedgerSpec {
     op_class_fields: &[],
 };
 
-/// `BENCH_serve.json`: mutable serving tier under a mixed workload.
+/// `BENCH_serve.json`: mutable serving tier under a mixed workload
+/// (single store, closed loop, inline compaction — the pre-sharding
+/// schema, kept so the committed history stays valid).
 pub const SERVE_SPEC: LedgerSpec = LedgerSpec {
     schema: "serve-bench-v1",
     record_fields: &["n", "dim", "k", "ops", "threads", "zipf"],
@@ -80,19 +82,65 @@ pub const SERVE_SPEC: LedgerSpec = LedgerSpec {
     op_class_fields: &["count", "qps", "p50_us", "p95_us", "p99_us"],
 };
 
-/// The ledgers committed at the repo root, with their specs.
-pub const COMMITTED_LEDGERS: &[(&str, &LedgerSpec)] = &[
-    ("BENCH_kernels.json", &KERNEL_SPEC),
-    ("BENCH_retrieval.json", &RETRIEVAL_SPEC),
-    ("BENCH_serve.json", &SERVE_SPEC),
+/// `BENCH_serve.json`, second generation: sharded store, closed- or
+/// open-loop driving (`mode`), inline or background compaction
+/// (`compaction`), deeper tail (`p999_us`) and the exact per-class
+/// maximum (`max_us` — the outlier-bound assert's evidence).
+pub const SERVE_SPEC_V2: LedgerSpec = LedgerSpec {
+    schema: "serve-bench-v2",
+    record_fields: &[
+        "n",
+        "dim",
+        "k",
+        "ops",
+        "threads",
+        "zipf",
+        "shards",
+        "mode",
+        "compaction",
+        "rate",
+    ],
+    row_fields: &[
+        "variant",
+        "base_indexed",
+        "epoch",
+        "compactions",
+        "wall_seconds",
+        "bit_identical",
+        "verify_queries",
+    ],
+    op_classes: &["query", "upsert", "remove"],
+    op_class_fields: &[
+        "count", "qps", "p50_us", "p95_us", "p99_us", "p999_us", "max_us",
+    ],
+};
+
+/// The ledgers committed at the repo root, each with the set of schemas
+/// its records may carry (a ledger that evolves keeps accepting its
+/// committed history — records validate per-record against whichever
+/// spec their `schema` tag names).
+pub const COMMITTED_LEDGERS: &[(&str, &[&LedgerSpec])] = &[
+    ("BENCH_kernels.json", &[&KERNEL_SPEC]),
+    ("BENCH_retrieval.json", &[&RETRIEVAL_SPEC]),
+    ("BENCH_serve.json", &[&SERVE_SPEC, &SERVE_SPEC_V2]),
 ];
 
 /// Looks up a spec by its schema tag.
 pub fn spec_for(schema: &str) -> Option<&'static LedgerSpec> {
     COMMITTED_LEDGERS
         .iter()
-        .map(|(_, spec)| *spec)
+        .flat_map(|(_, specs)| specs.iter().copied())
         .find(|spec| spec.schema == schema)
+}
+
+/// The full spec set of the ledger family `schema` belongs to — e.g.
+/// `serve-bench-v1` maps to the serve set `{v1, v2}`, so a standalone
+/// file holding mixed generations validates like the committed ledger.
+pub fn family_for(schema: &str) -> Option<&'static [&'static LedgerSpec]> {
+    COMMITTED_LEDGERS
+        .iter()
+        .map(|(_, specs)| *specs)
+        .find(|specs| specs.iter().any(|spec| spec.schema == schema))
 }
 
 /// What a valid ledger contained.
@@ -120,8 +168,11 @@ fn as_u64(v: &Value, ctx: &str) -> Result<u64, String> {
     }
 }
 
-/// Validates one ledger document against `spec`.
-pub fn validate_text(text: &str, spec: &LedgerSpec) -> Result<LedgerReport, String> {
+/// Validates one ledger document against a set of allowed specs: each
+/// record must carry a `schema` tag naming one of them and satisfy that
+/// spec's contract. Timestamps stay monotone across the whole ledger
+/// regardless of which generation each record belongs to.
+pub fn validate_text(text: &str, specs: &[&LedgerSpec]) -> Result<LedgerReport, String> {
     let doc = Value::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
     let records = match &doc {
         Value::Arr(records) => records,
@@ -141,12 +192,13 @@ pub fn validate_text(text: &str, spec: &LedgerSpec) -> Result<LedgerReport, Stri
         let schema = field(record, "schema", &ctx)?
             .as_str()
             .ok_or_else(|| format!("{ctx}: `schema` must be a string"))?;
-        if schema != spec.schema {
-            return Err(format!(
-                "{ctx}: schema `{schema}` does not match expected `{}`",
-                spec.schema
-            ));
-        }
+        let spec = specs
+            .iter()
+            .find(|spec| spec.schema == schema)
+            .ok_or_else(|| {
+                let allowed: Vec<&str> = specs.iter().map(|s| s.schema).collect();
+                format!("{ctx}: schema `{schema}` is not among the allowed set {allowed:?}")
+            })?;
         let recorded = as_u64(
             field(record, "recorded_at_unix", &ctx)?,
             &format!("{ctx}: `recorded_at_unix`"),
@@ -209,10 +261,40 @@ mod tests {
         )
     }
 
+    fn serve_v1_record(at: u64) -> String {
+        let op = "{\"count\": 10, \"qps\": 5.0, \"p50_us\": 1.0, \"p95_us\": 2.0, \"p99_us\": 3.0}";
+        let row = format!(
+            "{{\"variant\": \"original\", \"base_indexed\": true, \"epoch\": 3, \
+             \"compactions\": 1, \"wall_seconds\": 0.5, \"bit_identical\": true, \
+             \"verify_queries\": 8, \"query\": {op}, \"upsert\": {op}, \"remove\": {op}}}"
+        );
+        format!(
+            "{{\"schema\": \"serve-bench-v1\", \"recorded_at_unix\": {at}, \"n\": 100, \
+             \"dim\": 4, \"k\": 5, \"ops\": 50, \"threads\": 2, \"zipf\": 1.1, \
+             \"rows\": [{row}]}}"
+        )
+    }
+
+    fn serve_v2_record(at: u64) -> String {
+        let op = "{\"count\": 10, \"qps\": 5.0, \"p50_us\": 1.0, \"p95_us\": 2.0, \
+                  \"p99_us\": 3.0, \"p999_us\": 4.0, \"max_us\": 5.0}";
+        let row = format!(
+            "{{\"variant\": \"original\", \"base_indexed\": true, \"epoch\": 3, \
+             \"compactions\": 1, \"wall_seconds\": 0.5, \"bit_identical\": true, \
+             \"verify_queries\": 8, \"query\": {op}, \"upsert\": {op}, \"remove\": {op}}}"
+        );
+        format!(
+            "{{\"schema\": \"serve-bench-v2\", \"recorded_at_unix\": {at}, \"n\": 100, \
+             \"dim\": 4, \"k\": 5, \"ops\": 50, \"threads\": 2, \"zipf\": 1.1, \
+             \"shards\": 4, \"mode\": \"open\", \"compaction\": \"background\", \
+             \"rate\": 2000, \"rows\": [{row}]}}"
+        )
+    }
+
     #[test]
     fn valid_ledger_passes() {
         let text = format!("[{}, {}]", kernel_record(100), kernel_record(200));
-        let report = validate_text(&text, &KERNEL_SPEC).expect("valid");
+        let report = validate_text(&text, &[&KERNEL_SPEC]).expect("valid");
         assert_eq!(
             report,
             LedgerReport {
@@ -228,57 +310,79 @@ mod tests {
     fn drift_is_rejected() {
         // Out-of-order timestamps.
         let text = format!("[{}, {}]", kernel_record(200), kernel_record(100));
-        assert!(validate_text(&text, &KERNEL_SPEC)
+        assert!(validate_text(&text, &[&KERNEL_SPEC])
             .unwrap_err()
             .contains("chronological"));
         // Wrong schema tag.
         let text = format!("[{}]", kernel_record(100)).replace("kernel-bench-v1", "kernel-v2");
-        assert!(validate_text(&text, &KERNEL_SPEC)
+        assert!(validate_text(&text, &[&KERNEL_SPEC])
             .unwrap_err()
             .contains("schema"));
         // A dropped row field.
         let text = format!("[{}]", kernel_record(100)).replace("\"speedup\": 2.0", "\"x\": 2.0");
-        assert!(validate_text(&text, &KERNEL_SPEC)
+        assert!(validate_text(&text, &[&KERNEL_SPEC])
             .unwrap_err()
             .contains("speedup"));
         // Empty array, not JSON, empty rows.
-        assert!(validate_text("[]", &KERNEL_SPEC).is_err());
-        assert!(validate_text("not json", &KERNEL_SPEC).is_err());
+        assert!(validate_text("[]", &[&KERNEL_SPEC]).is_err());
+        assert!(validate_text("not json", &[&KERNEL_SPEC]).is_err());
         let text = format!("[{}]", kernel_record(100)).replace(
             "\"rows\": [{\"measure\": \"DTW\", \"scalar_us_per_pair\": 1.0, \
              \"wavefront_us_per_pair\": 0.5, \"speedup\": 2.0}]",
             "\"rows\": []",
         );
-        assert!(validate_text(&text, &KERNEL_SPEC).is_err());
+        assert!(validate_text(&text, &[&KERNEL_SPEC]).is_err());
     }
 
     #[test]
     fn serve_spec_checks_op_classes() {
-        let op = "{\"count\": 10, \"qps\": 5.0, \"p50_us\": 1.0, \"p95_us\": 2.0, \"p99_us\": 3.0}";
-        let row = format!(
-            "{{\"variant\": \"original\", \"base_indexed\": true, \"epoch\": 3, \
-             \"compactions\": 1, \"wall_seconds\": 0.5, \"bit_identical\": true, \
-             \"verify_queries\": 8, \"query\": {op}, \"upsert\": {op}, \"remove\": {op}}}"
-        );
-        let text = format!(
-            "[{{\"schema\": \"serve-bench-v1\", \"recorded_at_unix\": 9, \"n\": 100, \
-             \"dim\": 4, \"k\": 5, \"ops\": 50, \"threads\": 2, \"zipf\": 1.1, \
-             \"rows\": [{row}]}}]"
-        );
-        assert!(validate_text(&text, &SERVE_SPEC).is_ok());
+        let text = format!("[{}]", serve_v1_record(9));
+        assert!(validate_text(&text, &[&SERVE_SPEC]).is_ok());
         let broken = text.replace(
             "\"p99_us\": 3.0}, \"remove\"",
             "\"p98_us\": 3.0}, \"remove\"",
         );
-        assert!(validate_text(&broken, &SERVE_SPEC)
+        assert!(validate_text(&broken, &[&SERVE_SPEC])
             .unwrap_err()
             .contains("p99_us"));
     }
 
     #[test]
+    fn mixed_generation_serve_ledger_validates() {
+        // The committed ledger keeps its v1 history and gains v2 records;
+        // each record validates against its own generation's contract.
+        let text = format!("[{}, {}]", serve_v1_record(100), serve_v2_record(200));
+        let report = validate_text(&text, &[&SERVE_SPEC, &SERVE_SPEC_V2]).expect("mixed ok");
+        assert_eq!(report.records, 2);
+        // v2-only fields are enforced on v2 records...
+        let broken = text.replace(
+            "\"max_us\": 5.0}, \"remove\"",
+            "\"mx_us\": 5.0}, \"remove\"",
+        );
+        assert!(validate_text(&broken, &[&SERVE_SPEC, &SERVE_SPEC_V2])
+            .unwrap_err()
+            .contains("max_us"));
+        // ...and a v2 record alone fails a v1-only set (wrong schema).
+        let v2_only = format!("[{}]", serve_v2_record(50));
+        assert!(validate_text(&v2_only, &[&SERVE_SPEC])
+            .unwrap_err()
+            .contains("allowed set"));
+        // Timestamps stay monotone across generations.
+        let unordered = format!("[{}, {}]", serve_v2_record(200), serve_v1_record(100));
+        assert!(validate_text(&unordered, &[&SERVE_SPEC, &SERVE_SPEC_V2])
+            .unwrap_err()
+            .contains("chronological"));
+    }
+
+    #[test]
     fn spec_lookup_by_schema() {
         assert!(spec_for("serve-bench-v1").is_some());
+        assert!(spec_for("serve-bench-v2").is_some());
         assert!(spec_for("kernel-bench-v1").is_some());
         assert!(spec_for("unknown-v1").is_none());
+        let family = family_for("serve-bench-v1").expect("serve family");
+        assert_eq!(family.len(), 2);
+        assert!(family_for("serve-bench-v2").is_some());
+        assert!(family_for("unknown-v1").is_none());
     }
 }

@@ -7,6 +7,7 @@
 //! (small enough for CPU, large enough to show the paper's shapes).
 
 pub mod args;
+pub mod hist;
 pub mod ledger;
 pub mod perf;
 pub mod printer;

@@ -43,8 +43,9 @@ pub use fusion::FactorEncoder;
 pub use pipeline::{run_experiment, ExperimentOutcome, ExperimentSpec};
 pub use projection::project_rows;
 pub use retrieval::{
-    BoundSpace, DistanceKernel, EmbeddingStore, IndexParams, IndexedStore, ProbeStats,
-    RetrievalResult, ServeError, ServeHit, ServeStats, ServingOptions, ServingStore, ShardedStore,
-    Snapshot, StoreDecodeError,
+    shard_of_id, BoundSpace, DistanceKernel, EmbeddingStore, IndexParams, IndexedStore, ProbeStats,
+    RetrievalResult, ServeError, ServeHit, ServeStats, ServingOptions, ServingStore,
+    ShardedServingOptions, ShardedServingStore, ShardedSnapshot, ShardedStore, Snapshot,
+    StoreDecodeError,
 };
 pub use trainer::{LhModel, TrainReport, Trainer, TrainerConfig};

@@ -52,6 +52,9 @@ pub use index::bound::BoundSpace;
 pub use index::build::IndexParams;
 pub use index::{IndexedStore, ProbeStats};
 pub use kernel::DistanceKernel;
+pub use serve::sharded::{
+    shard_of_id, ShardedServingOptions, ShardedServingStore, ShardedSnapshot,
+};
 pub use serve::snapshot::Snapshot;
 pub use serve::{ServeError, ServeHit, ServeStats, ServingOptions, ServingStore};
 pub use shard::{ShardedStore, DEFAULT_SHARD_ROWS};

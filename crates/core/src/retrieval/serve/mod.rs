@@ -29,6 +29,8 @@
 //! WAL prefix, and discards a torn tail.
 
 pub(crate) mod compact;
+pub(crate) mod compactor;
+pub mod sharded;
 pub mod snapshot;
 pub(crate) mod wal;
 
@@ -154,6 +156,11 @@ struct Writer {
     delta_ids: Vec<u64>,
     delta_dead: Vec<u32>,
     epoch: u64,
+    /// Base generation: bumped every time a fresh base is swapped in.
+    /// A background fold pins the generation it started from; an install
+    /// against a different generation is stale and must be discarded
+    /// (its delta watermark indexes a delta that no longer exists).
+    generation: u64,
     compactions: u64,
     wal: Option<WalFile>,
     dir: Option<PathBuf>,
@@ -345,6 +352,7 @@ impl ServingStore {
             delta_ids: Vec::new(),
             delta_dead: Vec::new(),
             epoch: 0,
+            generation: 0,
             compactions,
             wal,
             dir,
@@ -436,9 +444,47 @@ impl ServingStore {
 
     /// Folds delta + tombstones into a fresh (indexed) base now, bumps
     /// the epoch, and — when durable — checkpoints and truncates the WAL.
+    /// The entire fold runs under the writer lock (writes queue behind
+    /// it); this is the inline escape hatch — [`ServingStore::
+    /// compact_background`] is the fold that stays off the write path.
     pub fn compact(&self) -> Result<(), ServeError> {
         let w = self.writer.lock();
         self.compact_locked(w)
+    }
+
+    /// Two-phase compaction for a dedicated compactor thread: pins the
+    /// current snapshot (plus a delta watermark and base generation)
+    /// under a briefly-held writer lock, builds the fresh indexed base
+    /// *without holding any lock*, then re-acquires the writer lock only
+    /// for the catch-up install — writers never pay the fold. Returns
+    /// whether the fold was installed (`false` means another compaction
+    /// swapped the base first and this fold was discarded as stale).
+    pub fn compact_background(&self) -> Result<bool, ServeError> {
+        let (pinned, watermark, generation) = {
+            let w = self.writer.lock();
+            (w.snapshot(), w.delta_ids.len(), w.generation)
+        };
+        // The fold: O(live rows) materialization + index build, off-lock.
+        // Readers keep querying published snapshots; writers keep
+        // appending to the (still current-generation) delta.
+        let folded = compact::compact_snapshot(&pinned, &self.opts);
+        let w = self.writer.lock();
+        if w.generation != generation {
+            // A competing compaction (inline escape hatch, or a racing
+            // background fold) already replaced the base; `watermark` no
+            // longer indexes the live delta. Drop the fold.
+            return Ok(false);
+        }
+        self.install_fold(w, folded, watermark)?;
+        Ok(true)
+    }
+
+    /// Churn accumulated since the last compaction (delta rows plus base
+    /// tombstones) — the metric `compact_threshold` triggers on. Offered
+    /// so an external compaction scheduler (the sharded store's
+    /// background compactor) can poll trip state without a snapshot.
+    pub fn churn_level(&self) -> usize {
+        self.writer.lock().churn()
     }
 
     fn check_shape(
@@ -535,13 +581,84 @@ impl ServingStore {
         Ok(())
     }
 
-    fn compact_locked(&self, mut w: parking_lot::MutexGuard<'_, Writer>) -> Result<(), ServeError> {
+    fn compact_locked(&self, w: parking_lot::MutexGuard<'_, Writer>) -> Result<(), ServeError> {
+        // Inline fold: the watermark is the full delta, so the catch-up
+        // below degenerates to "empty delta, no residual tombstones".
+        let watermark = w.delta_ids.len();
         let folded = compact::compact_snapshot(&w.snapshot(), &self.opts);
-        // Persist first: the checkpoint must be on disk before the WAL
-        // that preceded it is dropped. A crash after the rename but
+        self.install_fold(w, folded, watermark)
+    }
+
+    /// Swaps `folded` (the materialized live rows of the snapshot pinned
+    /// at `watermark` delta rows) in as the new base, re-expressing
+    /// everything that happened since the pin against it:
+    ///
+    /// * delta rows `watermark..` survive as the new delta (bytewise row
+    ///   copies — O(churn since pin), which is what keeps this critical
+    ///   section in the microseconds band);
+    /// * a folded row whose id has since been superseded (re-upserted
+    ///   past the watermark) or removed becomes a base tombstone;
+    /// * post-watermark delta tombstones are rebased by the watermark.
+    ///
+    /// When durable, the checkpoint persists the folded base and the
+    /// fresh WAL is seeded with the residual ops (surviving upserts in
+    /// delta order, then removals), so recovery replays to exactly the
+    /// installed state.
+    fn install_fold(
+        &self,
+        mut w: parking_lot::MutexGuard<'_, Writer>,
+        folded: compact::CompactedBase,
+        watermark: usize,
+    ) -> Result<(), ServeError> {
+        // --- Catch-up against writes that landed after the pin. ---
+        let mut new_delta = w.delta.empty_like();
+        for j in watermark..w.delta_ids.len() {
+            new_delta.push_row_from(&w.delta, j);
+        }
+        let new_delta_ids: Vec<u64> = w.delta_ids[watermark..].to_vec();
+        let new_delta_dead: Vec<u32> = w
+            .delta_dead
+            .iter()
+            .filter(|&&d| d as usize >= watermark)
+            .map(|&d| d - watermark as u32)
+            .collect();
+        let mut new_base_dead = Vec::new();
+        let mut new_loc: HashMap<u64, Loc> = HashMap::with_capacity(w.loc.len());
+        for (r, &id) in folded.ids.iter().enumerate() {
+            // The folded copy of `id` is its pre-watermark version; it is
+            // still live iff the id's current location predates the
+            // watermark (tombstoning is monotone within a generation, so
+            // "live now in a pre-watermark slot" implies "live at pin").
+            let live = match w.loc.get(&id) {
+                Some(Loc::Base(_)) => true,
+                Some(Loc::Delta(j)) => (*j as usize) < watermark,
+                None => false,
+            };
+            if live {
+                new_loc.insert(id, Loc::Base(r as u32));
+            } else {
+                new_base_dead.push(r as u32); // ascending by construction
+            }
+        }
+        for (&id, &l) in w.loc.iter() {
+            if let Loc::Delta(j) = l {
+                if j as usize >= watermark {
+                    new_loc.insert(id, Loc::Delta(j - watermark as u32));
+                }
+            }
+        }
+        debug_assert_eq!(
+            new_loc.len(),
+            w.loc.len(),
+            "catch-up must keep every live id"
+        );
+
+        // --- Persist first: the checkpoint must be on disk before the
+        // WAL that preceded it is dropped. A crash after the rename but
         // before the WAL swap leaves a stale-epoch WAL that recovery
-        // discards (its ops are inside the checkpoint).
+        // discards (its ops are inside the checkpoint). ---
         w.epoch += 1;
+        w.generation += 1;
         w.compactions += 1;
         if let Some(dir) = w.dir.clone() {
             let ckpt = wal::Checkpoint {
@@ -553,20 +670,48 @@ impl ServingStore {
             wal::write_checkpoint(&dir.join(wal::CKPT_FILE), &ckpt)?;
             let mut fresh = WalFile::create(&dir.join(wal::WAL_FILE), w.epoch)?;
             fresh.set_fsync(self.opts.fsync);
+            // Re-log the post-pin residue: upserts in delta order (so
+            // replay rebuilds the same delta rows with the same
+            // supersession tombstones), then removals for every id that
+            // the residue leaves dead. Replay therefore reconstructs the
+            // installed segment structure exactly, not just the live set.
+            for (j, &id) in new_delta_ids.iter().enumerate() {
+                fresh.append(&WalOp::Upsert {
+                    id,
+                    eu: new_delta.eu_row(j).to_vec(),
+                    hyper: new_delta
+                        .variant()
+                        .uses_hyperbolic()
+                        .then(|| new_delta.hyper_row(j).to_vec()),
+                    factors: new_delta
+                        .factor_dim()
+                        .is_some()
+                        .then(|| new_delta.factor_row(j).to_vec()),
+                })?;
+            }
+            let mut logged_removes = std::collections::HashSet::new();
+            for &r in &new_base_dead {
+                let id = folded.ids[r as usize];
+                if !new_loc.contains_key(&id) && logged_removes.insert(id) {
+                    fresh.append(&WalOp::Remove { id })?;
+                }
+            }
+            for &id in &new_delta_ids {
+                if !new_loc.contains_key(&id) && logged_removes.insert(id) {
+                    fresh.append(&WalOp::Remove { id })?;
+                }
+            }
             w.wal = Some(fresh);
         }
+
+        // --- The swap itself: pointer stores and O(churn) moves. ---
         w.base = folded.base;
         w.base_ids = Arc::clone(&folded.ids);
-        w.base_dead.clear();
-        w.delta = w.base.store().empty_like();
-        w.delta_ids.clear();
-        w.delta_dead.clear();
-        w.loc = folded
-            .ids
-            .iter()
-            .enumerate()
-            .map(|(r, &id)| (id, Loc::Base(r as u32)))
-            .collect();
+        w.base_dead = new_base_dead;
+        w.delta = new_delta;
+        w.delta_ids = new_delta_ids;
+        w.delta_dead = new_delta_dead;
+        w.loc = new_loc;
         let snap = Arc::new(w.snapshot());
         drop(w);
         *self.current.write() = snap;

@@ -1,0 +1,439 @@
+//! Scale-out within the process: a serving store hash-partitioned across
+//! independent shards, with compaction pushed to a background thread.
+//!
+//! A [`ShardedServingStore`] owns S [`ServingStore`]s. Every external id
+//! maps to exactly one shard via a splitmix64 hash ([`shard_of_id`]), so
+//! each shard has its *own* writer lock, delta segment, epoch counter,
+//! and (when durable) WAL + checkpoint under `shard-NNNN/` — writes to
+//! different shards proceed fully in parallel, and a fold in one shard
+//! never blocks another shard's writers.
+//!
+//! # Bit-identity of the sharded read path
+//!
+//! [`ShardedSnapshot::knn`] must equal a flat scan of the concatenated
+//! per-shard live rows ([`ShardedSnapshot::to_flat`]) bit-for-bit. The
+//! argument extends the single-store one (see [`snapshot`](super::snapshot)):
+//!
+//! * each shard's heap selects by `(f64 distance, heap key)` where the
+//!   key order is a strictly monotone remap of that shard's flat row
+//!   order — so per-shard top-k keeps exactly the rows a flat scan of
+//!   that shard would keep, in the same order;
+//! * the merge offsets shard s's keys by the total key space of shards
+//!   `0..s`, making the global key order a strictly monotone remap of the
+//!   *concatenated* flat row order, and compares at the full `f64`
+//!   precision the heaps selected with (narrowing to `f32` first could
+//!   collapse distances that differ only below `f32` resolution and
+//!   reorder their tie-break);
+//! * the global top-k of a concatenation is always a subset of the union
+//!   of per-shard top-k, so merging S sorted lists of k loses nothing.
+//!
+//! The final `f64 → f32` narrowing happens after selection, exactly where
+//! the single-store path narrows. `tests/serving_sharded.rs` enforces the
+//! contract against both a single [`ServingStore`] and a BTreeMap model.
+//!
+//! # Compaction lifecycle
+//!
+//! With [`ShardedServingOptions::background`] set, shards never fold
+//! inline. After each write the wrapper polls the shard's churn and hands
+//! tripped shards to the crate-internal `Compactor` thread, which
+//! runs the two-phase pin → fold-off-lock → catch-up-install protocol of
+//! [`ServingStore::compact_background`]. [`ShardedServingStore::drain`]
+//! and [`ShardedServingStore::compact_inline`] are the determinism
+//! escape hatches for tests and shutdown.
+
+use super::super::store::EmbeddingStore;
+use super::compactor::Compactor;
+use super::snapshot::Snapshot;
+use super::wal;
+use super::{ServeError, ServeHit, ServeStats, ServingOptions, ServingStore};
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+use traj_core::parallel::{default_threads, parallel_map};
+
+/// Configuration for a [`ShardedServingStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedServingOptions {
+    /// Number of shards (≥ 1). Fixed for the life of the store — the
+    /// partition function is keyed by it, so recovery reads the count
+    /// from the manifest, not from this field.
+    pub shards: usize,
+    /// Fold tripped shards on the background compactor thread instead of
+    /// inline on the tripping writer.
+    pub background: bool,
+    /// Per-shard serving options. `compact_threshold` is the per-shard
+    /// churn trip level (inline or background per `background`).
+    pub serving: ServingOptions,
+}
+
+impl Default for ShardedServingOptions {
+    fn default() -> Self {
+        ShardedServingOptions {
+            shards: 4,
+            background: true,
+            serving: ServingOptions::default(),
+        }
+    }
+}
+
+/// The shard an external id lives in, out of `shards`. splitmix64 — the
+/// same finalizer the index builder uses for seeding — so adversarially
+/// sequential ids still spread uniformly.
+pub fn shard_of_id(id: u64, shards: usize) -> usize {
+    let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards as u64) as usize
+}
+
+/// A point-in-time view across every shard: one [`Snapshot`] per shard,
+/// each internally consistent. The cut is per-shard, not global — but an
+/// id lives in exactly one shard, so every id reads at one consistent
+/// point, and a quiesced store (writes stopped, compactor drained)
+/// yields a fully consistent view.
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot {
+    shards: Vec<Arc<Snapshot>>,
+}
+
+impl ShardedSnapshot {
+    /// Live rows across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no live row exists.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Sum of per-shard publication epochs (total publications across
+    /// the store).
+    pub fn epoch(&self) -> u64 {
+        self.shards.iter().map(|s| s.epoch()).sum()
+    }
+
+    /// Rows sitting in delta segments across all shards.
+    pub fn delta_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.delta_rows()).sum()
+    }
+
+    /// Whether every non-empty base segment is served through the pivot
+    /// index.
+    pub fn base_indexed(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.base_indexed() || s.base.store().is_empty())
+    }
+
+    /// External ids of every live row, in shard order then snapshot
+    /// order — the id column of [`ShardedSnapshot::to_flat`].
+    pub fn live_ids(&self) -> Vec<u64> {
+        let mut ids = Vec::with_capacity(self.len());
+        for s in &self.shards {
+            ids.extend(s.live_ids());
+        }
+        ids
+    }
+
+    /// Materializes all live rows into one flat store: shard 0's live
+    /// rows (base order then delta order), then shard 1's, … This is the
+    /// reference surface of the sharded bit-identity contract.
+    pub fn to_flat(&self) -> (EmbeddingStore, Vec<u64>) {
+        let (mut store, mut ids) = self.shards[0].to_flat();
+        for s in &self.shards[1..] {
+            let (part, part_ids) = s.to_flat();
+            for r in 0..part.len() {
+                store.push_row_from(&part, r);
+            }
+            ids.extend(part_ids);
+        }
+        (store, ids)
+    }
+
+    /// Top-k nearest live rows across all shards. Bit-identical to a
+    /// flat scan of [`ShardedSnapshot::to_flat`] (see the module docs).
+    pub fn knn(&self, queries: &EmbeddingStore, qi: usize, k: usize) -> Vec<ServeHit> {
+        // (distance, global key, id): per-shard keys offset by the key
+        // space of every shard before them, so global key order remaps
+        // the concatenated flat row order strictly monotonically.
+        let mut merged: Vec<(f64, usize, u64)> = Vec::with_capacity(self.shards.len() * k);
+        let mut offset = 0usize;
+        for s in &self.shards {
+            merged.extend(
+                s.knn_keyed(queries, qi, k)
+                    .into_iter()
+                    .map(|(key, id, d)| (d, offset + key, id)),
+            );
+            offset += s.key_space();
+        }
+        merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        merged.truncate(k);
+        merged
+            .into_iter()
+            .map(|(d, _, id)| ServeHit {
+                id,
+                distance: d as f32,
+            })
+            .collect()
+    }
+
+    /// Batched [`ShardedSnapshot::knn`], parallel across queries.
+    pub fn knn_batch(&self, queries: &EmbeddingStore, k: usize) -> Vec<Vec<ServeHit>> {
+        let nq = queries.len();
+        parallel_map(nq, default_threads(nq), |qi| self.knn(queries, qi, k))
+    }
+}
+
+/// A serving store hash-partitioned across independent shards. See the
+/// module docs for the partitioning, bit-identity, and compaction
+/// contracts.
+pub struct ShardedServingStore {
+    shards: Vec<Arc<ServingStore>>,
+    /// Present iff background compaction is on.
+    compactor: Option<Compactor>,
+    /// Per-shard churn trip level (0 disables scheduling).
+    threshold: usize,
+}
+
+impl fmt::Debug for ShardedServingStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedServingStore")
+            .field("shards", &self.shards.len())
+            .field("background", &self.compactor.is_some())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedServingStore {
+    /// In-memory sharded store over `base` rows with external `ids`
+    /// (unique, parallel to the rows). Rows are partitioned by
+    /// [`shard_of_id`]. No persistence.
+    pub fn new(
+        base: EmbeddingStore,
+        ids: Vec<u64>,
+        opts: ShardedServingOptions,
+    ) -> Result<ShardedServingStore, ServeError> {
+        let parts = partition(&base, &ids, opts.shards)?;
+        let inner = inner_options(&opts);
+        let shards = parts
+            .into_iter()
+            .map(|(store, ids)| ServingStore::new(store, ids, inner).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::assemble(shards, &opts))
+    }
+
+    /// Creates a durable sharded store in `dir`: writes the shard
+    /// manifest plus one serving directory per shard under
+    /// `shard-NNNN/`.
+    pub fn create_durable(
+        dir: &Path,
+        base: EmbeddingStore,
+        ids: Vec<u64>,
+        opts: ShardedServingOptions,
+    ) -> Result<ShardedServingStore, ServeError> {
+        let parts = partition(&base, &ids, opts.shards)?;
+        std::fs::create_dir_all(dir)?;
+        wal::write_manifest(&dir.join(wal::MANIFEST_FILE), opts.shards as u32)?;
+        let inner = inner_options(&opts);
+        let shards = parts
+            .into_iter()
+            .enumerate()
+            .map(|(s, (store, ids))| {
+                ServingStore::create_durable(&dir.join(wal::shard_dir_name(s)), store, ids, inner)
+                    .map(Arc::new)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::assemble(shards, &opts))
+    }
+
+    /// Recovers a durable sharded store from `dir`. The manifest's shard
+    /// count is authoritative ([`ShardedServingOptions::shards`] is
+    /// ignored — the partition function is keyed by the persisted
+    /// count). Each shard heals its own WAL independently, so one torn
+    /// shard log costs only that shard's torn tail.
+    pub fn recover(
+        dir: &Path,
+        opts: ShardedServingOptions,
+    ) -> Result<ShardedServingStore, ServeError> {
+        let shards = wal::read_manifest(&dir.join(wal::MANIFEST_FILE))? as usize;
+        let inner = inner_options(&opts);
+        let shards = (0..shards)
+            .map(|s| ServingStore::recover(&dir.join(wal::shard_dir_name(s)), inner).map(Arc::new))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::assemble(shards, &opts))
+    }
+
+    fn assemble(shards: Vec<Arc<ServingStore>>, opts: &ShardedServingOptions) -> Self {
+        let compactor = opts.background.then(|| Compactor::spawn(shards.clone()));
+        ShardedServingStore {
+            shards,
+            compactor,
+            threshold: opts.serving.compact_threshold,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `id` routes to.
+    pub fn shard_of(&self, id: u64) -> usize {
+        shard_of_id(id, self.shards.len())
+    }
+
+    /// The current published view: one snapshot per shard, each an O(1)
+    /// `Arc` clone. Query it lock-free for as long as needed.
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        ShardedSnapshot {
+            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
+        }
+    }
+
+    /// Batched top-k against the current view.
+    pub fn knn_batch(&self, queries: &EmbeddingStore, k: usize) -> Vec<Vec<ServeHit>> {
+        self.snapshot().knn_batch(queries, k)
+    }
+
+    /// Inserts or replaces the row for `id` in its shard. Writes to
+    /// different shards run fully in parallel. May schedule (background)
+    /// or run (inline) a compaction of the tripped shard.
+    pub fn upsert(
+        &self,
+        id: u64,
+        eu: &[f32],
+        hyper: Option<&[f32]>,
+        factors: Option<&[f32]>,
+    ) -> Result<bool, ServeError> {
+        let sid = self.shard_of(id);
+        let replaced = self.shards[sid].upsert(id, eu, hyper, factors)?;
+        self.maybe_schedule(sid);
+        Ok(replaced)
+    }
+
+    /// Removes the row for `id` from its shard. Returns whether it
+    /// existed.
+    pub fn remove(&self, id: u64) -> Result<bool, ServeError> {
+        let sid = self.shard_of(id);
+        let existed = self.shards[sid].remove(id)?;
+        self.maybe_schedule(sid);
+        Ok(existed)
+    }
+
+    fn maybe_schedule(&self, sid: usize) {
+        if let Some(compactor) = &self.compactor {
+            if self.threshold > 0 && self.shards[sid].churn_level() >= self.threshold {
+                compactor.schedule(sid);
+            }
+        }
+    }
+
+    /// Folds every shard inline, on the calling thread — the
+    /// deterministic escape hatch (tests, shutdown checkpointing).
+    /// Background folds racing this are detected by the generation check
+    /// and discarded.
+    pub fn compact_inline(&self) -> Result<(), ServeError> {
+        for shard in &self.shards {
+            shard.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until every scheduled background fold has landed and
+    /// surfaces the first error any fold hit. A no-op without background
+    /// compaction. After `drain` returns (and absent concurrent writes),
+    /// reads reflect a fully-compacted store.
+    pub fn drain(&self) -> Result<(), ServeError> {
+        match &self.compactor {
+            Some(compactor) => compactor.drain(),
+            None => Ok(()),
+        }
+    }
+
+    /// Aggregate occupancy and lifecycle counters (sums over shards;
+    /// `epoch` is the total publication count).
+    pub fn stats(&self) -> ServeStats {
+        let mut total = ServeStats {
+            epoch: 0,
+            live_rows: 0,
+            base_rows: 0,
+            delta_rows: 0,
+            tombstones: 0,
+            compactions: 0,
+        };
+        for s in self.shard_stats() {
+            total.epoch += s.epoch;
+            total.live_rows += s.live_rows;
+            total.base_rows += s.base_rows;
+            total.delta_rows += s.delta_rows;
+            total.tombstones += s.tombstones;
+            total.compactions += s.compactions;
+        }
+        total
+    }
+
+    /// Per-shard counters, indexed by shard id.
+    pub fn shard_stats(&self) -> Vec<ServeStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Live rows across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether no live row exists.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-shard serving options: under background compaction the inner
+/// stores must never fold inline (threshold 0) — the wrapper schedules
+/// tripped shards onto the compactor instead.
+fn inner_options(opts: &ShardedServingOptions) -> ServingOptions {
+    ServingOptions {
+        compact_threshold: if opts.background {
+            0
+        } else {
+            opts.serving.compact_threshold
+        },
+        ..opts.serving
+    }
+}
+
+/// Splits `base`/`ids` into per-shard (store, ids) pairs by
+/// [`shard_of_id`]. Duplicate-id detection happens downstream in each
+/// shard's `ServingStore` constructor (an id collides only within its
+/// own shard).
+fn partition(
+    base: &EmbeddingStore,
+    ids: &[u64],
+    shards: usize,
+) -> Result<Vec<(EmbeddingStore, Vec<u64>)>, ServeError> {
+    if shards == 0 {
+        return Err(ServeError::Corrupt("shard count must be >= 1".into()));
+    }
+    if shards > u32::MAX as usize {
+        return Err(ServeError::Corrupt("shard count exceeds u32".into()));
+    }
+    if base.len() != ids.len() {
+        return Err(ServeError::Corrupt(format!(
+            "{} ids for {} rows",
+            ids.len(),
+            base.len()
+        )));
+    }
+    let mut parts: Vec<(EmbeddingStore, Vec<u64>)> = (0..shards)
+        .map(|_| (base.empty_like(), Vec::new()))
+        .collect();
+    for (r, &id) in ids.iter().enumerate() {
+        let (store, part_ids) = &mut parts[shard_of_id(id, shards)];
+        store.push_row_from(base, r);
+        part_ids.push(id);
+    }
+    Ok(parts)
+}

@@ -152,10 +152,42 @@ impl Snapshot {
         ids
     }
 
+    /// Size of this snapshot's heap key space: base rows `0..n_base`,
+    /// delta rows `n_base..n_base + n_delta` (dead rows hold their key
+    /// but are never offered). The sharded merge offsets each shard's
+    /// keys by the key spaces before it, keeping the concatenated key
+    /// order strictly monotone onto the concatenated [`Snapshot::to_flat`]
+    /// row order.
+    pub(crate) fn key_space(&self) -> usize {
+        self.base.store().len() + self.delta.len()
+    }
+
     /// Top-k nearest live rows to query row `qi` of `queries`, as
     /// external ids with model distances. Bit-identical to a flat scan of
     /// [`Snapshot::to_flat`] (see the module docs).
     pub fn knn(&self, queries: &EmbeddingStore, qi: usize, k: usize) -> Vec<ServeHit> {
+        self.knn_keyed(queries, qi, k)
+            .into_iter()
+            .map(|(_, id, distance)| ServeHit {
+                id,
+                distance: distance as f32,
+            })
+            .collect()
+    }
+
+    /// [`Snapshot::knn`] before the `f32` narrowing: sorted
+    /// `(heap key, external id, f64 distance)` triples. This is the
+    /// sharded-store merge surface — the merge must compare at the full
+    /// `f64` precision the heaps selected with (narrowing first could
+    /// reorder hits whose distances collide only in `f32`), and it
+    /// tie-breaks on the heap key so the cross-shard order stays the
+    /// strictly monotone remap of the concatenated flat-scan order.
+    pub(crate) fn knn_keyed(
+        &self,
+        queries: &EmbeddingStore,
+        qi: usize,
+        k: usize,
+    ) -> Vec<(usize, u64, f64)> {
         let base_mask = dead_mask(self.base.store().len(), &self.base_dead);
         let delta_mask = dead_mask(self.delta.len(), &self.delta_dead);
         self.knn_masked(queries, qi, k, base_mask.as_deref(), delta_mask.as_deref())
@@ -169,6 +201,12 @@ impl Snapshot {
         let nq = queries.len();
         parallel_map(nq, default_threads(nq), |qi| {
             self.knn_masked(queries, qi, k, base_mask.as_deref(), delta_mask.as_deref())
+                .into_iter()
+                .map(|(_, id, distance)| ServeHit {
+                    id,
+                    distance: distance as f32,
+                })
+                .collect()
         })
     }
 
@@ -179,7 +217,7 @@ impl Snapshot {
         k: usize,
         base_mask: Option<&[bool]>,
         delta_mask: Option<&[bool]>,
-    ) -> Vec<ServeHit> {
+    ) -> Vec<(usize, u64, f64)> {
         if k == 0 {
             return Vec::new();
         }
@@ -199,13 +237,13 @@ impl Snapshot {
         }
         top.into_sorted()
             .into_iter()
-            .map(|(key, distance)| ServeHit {
-                id: if key < n_base {
+            .map(|(key, distance)| {
+                let id = if key < n_base {
                     self.base_ids[key]
                 } else {
                     self.delta_ids[key - n_base]
-                },
-                distance: distance as f32,
+                };
+                (key, id, distance)
             })
             .collect()
     }

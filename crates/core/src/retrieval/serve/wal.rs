@@ -37,6 +37,19 @@
 //! u64 n | n × u64 ids | u64 payload_len | store payload (store codec)
 //! ```
 //!
+//! # Shard manifest format (`LHSM`, version 1)
+//!
+//! ```text
+//! u32 magic "LHSM" | u32 version | u32 shards
+//! ```
+//!
+//! A sharded serving directory holds one manifest naming the shard count
+//! plus one `shard-NNNN/` subdirectory per shard, each an ordinary
+//! single-store serving directory (checkpoint + WAL). The manifest is
+//! authoritative on recovery — the partition function is keyed by the
+//! shard count, so opening with a different count would route ids to the
+//! wrong shards.
+//!
 //! By default appends are flushed to the OS (process-crash-safe) but not
 //! fsynced; [`WalFile::set_fsync`] upgrades each append to power-loss
 //! durability at the usual throughput cost.
@@ -52,6 +65,7 @@ use std::path::Path;
 
 const WAL_MAGIC: u32 = u32::from_le_bytes(*b"LHWL");
 const CKPT_MAGIC: u32 = u32::from_le_bytes(*b"LHCP");
+const MANIFEST_MAGIC: u32 = u32::from_le_bytes(*b"LHSM");
 const VERSION: u32 = 1;
 const OP_UPSERT: u8 = 1;
 const OP_REMOVE: u8 = 2;
@@ -62,6 +76,55 @@ const FRAME_HEADER: usize = 4 + 8;
 pub(crate) const WAL_FILE: &str = "serve.wal";
 /// Checkpoint file name inside a serving directory.
 pub(crate) const CKPT_FILE: &str = "serve.ckpt";
+/// Shard manifest file name inside a sharded serving directory.
+pub(crate) const MANIFEST_FILE: &str = "serve.manifest";
+
+/// Name of shard `s`'s subdirectory inside a sharded serving directory.
+pub(crate) fn shard_dir_name(s: usize) -> String {
+    format!("shard-{s:04}")
+}
+
+/// Writes the shard manifest via tmp + atomic rename.
+pub(crate) fn write_manifest(path: &Path, shards: u32) -> Result<(), ServeError> {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MANIFEST_MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(shards);
+    let tmp = path.with_extension("manifest.tmp");
+    let mut file = File::create(&tmp)?;
+    file.write_all(&buf.freeze().to_vec())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads and validates the shard manifest, returning the shard count.
+pub(crate) fn read_manifest(path: &Path) -> Result<u32, ServeError> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    let mut data = Bytes::from(raw);
+    let magic = take_u64_pair_u32(&mut data, "manifest magic")?;
+    if magic != MANIFEST_MAGIC {
+        return Err(ServeError::Decode(StoreDecodeError::BadMagic(magic)));
+    }
+    let version = take_u64_pair_u32(&mut data, "manifest version")?;
+    if version != VERSION {
+        return Err(ServeError::Decode(StoreDecodeError::UnsupportedVersion(
+            version,
+        )));
+    }
+    let shards = take_u64_pair_u32(&mut data, "manifest shard count")?;
+    if data.remaining() != 0 {
+        return Err(ServeError::Decode(StoreDecodeError::TrailingBytes(
+            data.remaining(),
+        )));
+    }
+    if shards == 0 {
+        return Err(ServeError::Corrupt("manifest names zero shards".into()));
+    }
+    Ok(shards)
+}
 
 /// FNV-1a over a record body — cheap, dependency-free, and plenty to
 /// detect the torn tail of a crashed append.

@@ -1,0 +1,768 @@
+//! Property-based tests for the sharded serving tier: a
+//! [`ShardedServingStore`] driven through interleaved
+//! upsert/remove/query/compact sequences must stay bit-identical to a
+//! flat scan of its own concatenated live rows (order-exact), agree with
+//! a single [`ServingStore`] and a naive `BTreeMap` model on the live id
+//! set and hit sets, keep pinned cross-shard snapshots immune to later
+//! writes, and — durably — recover a multi-shard directory with one torn
+//! shard WAL to "that shard at a logged prefix, every other shard
+//! complete". Background compaction (the compactor thread racing the
+//! writer between pin and install) runs through the same properties, and
+//! directed tests pin down the drain()/determinism and
+//! residual-re-log/recovery contracts.
+
+use lh_repro::plugin::{
+    shard_of_id, EmbeddingStore, PluginVariant, ServeHit, ServingOptions, ServingStore,
+    ShardedServingOptions, ShardedServingStore, ShardedSnapshot,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const FACTOR_DIM: usize = 3;
+const BETA: f32 = 1.0;
+
+/// The shard counts the issue calls out: degenerate (1), even (2), and a
+/// prime that leaves most shards sparsely populated (7).
+const SHARD_COUNTS: [usize; 3] = [1, 2, 7];
+
+const VARIANTS: [PluginVariant; 3] = [
+    PluginVariant::Original,
+    PluginVariant::LorentzCosh,
+    PluginVariant::FusionDist,
+];
+
+type Row = (Vec<f32>, Option<Vec<f32>>, Option<Vec<f32>>);
+
+/// One step of an interleaved sequence (queries and compactions are ops
+/// too — the issue's "interleaved upsert/remove/query/compact").
+enum Op {
+    Upsert(u64, Row),
+    Remove(u64),
+    Query,
+    Compact,
+}
+
+fn random_row(variant: PluginVariant, dim: usize, rng: &mut StdRng) -> Row {
+    let eu: Vec<f32> = (0..dim).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+    let hyper = variant.uses_hyperbolic().then(|| {
+        let nsq: f32 = eu.iter().map(|v| v * v).sum();
+        let mut hy = vec![(nsq + BETA).sqrt()];
+        hy.extend_from_slice(&eu);
+        hy
+    });
+    let factors = variant.uses_fusion().then(|| {
+        (0..2 * FACTOR_DIM)
+            .map(|_| rng.gen_range(0.01f32..1.0))
+            .collect()
+    });
+    (eu, hyper, factors)
+}
+
+fn empty_store(variant: PluginVariant, dim: usize) -> EmbeddingStore {
+    EmbeddingStore::new(
+        dim,
+        variant,
+        BETA,
+        variant.uses_fusion().then_some(FACTOR_DIM),
+    )
+}
+
+fn seed_rows(
+    variant: PluginVariant,
+    dim: usize,
+    n: usize,
+    rng: &mut StdRng,
+) -> (EmbeddingStore, Vec<u64>, BTreeMap<u64, Row>) {
+    let mut store = empty_store(variant, dim);
+    let mut ids = Vec::with_capacity(n);
+    let mut model = BTreeMap::new();
+    for i in 0..n {
+        let row = random_row(variant, dim, rng);
+        store.push(&row.0, row.1.as_deref(), row.2.as_deref());
+        ids.push(i as u64);
+        model.insert(i as u64, row);
+    }
+    (store, ids, model)
+}
+
+fn random_ops(
+    variant: PluginVariant,
+    dim: usize,
+    n_ops: usize,
+    id_space: u64,
+    rng: &mut StdRng,
+) -> Vec<Op> {
+    (0..n_ops)
+        .map(|_| {
+            let dice = rng.gen_range(0..100u32);
+            if dice < 60 {
+                Op::Upsert(rng.gen_range(0..id_space), random_row(variant, dim, rng))
+            } else if dice < 85 {
+                Op::Remove(rng.gen_range(0..id_space))
+            } else if dice < 95 {
+                Op::Query
+            } else {
+                Op::Compact
+            }
+        })
+        .collect()
+}
+
+fn model_store(
+    variant: PluginVariant,
+    dim: usize,
+    model: &BTreeMap<u64, Row>,
+) -> (EmbeddingStore, Vec<u64>) {
+    let mut store = empty_store(variant, dim);
+    let mut ids = Vec::with_capacity(model.len());
+    for (&id, row) in model {
+        store.push(&row.0, row.1.as_deref(), row.2.as_deref());
+        ids.push(id);
+    }
+    (store, ids)
+}
+
+/// Order-insensitive bit-exact view of a hit list (stores enumerating
+/// rows in different orders tie-break equal distances differently, so
+/// only the (distance-bits, id) *set* is comparable across them).
+fn canon_hits(hits: &[ServeHit]) -> Vec<(u32, u64)> {
+    let mut v: Vec<(u32, u64)> = hits.iter().map(|h| (h.distance.to_bits(), h.id)).collect();
+    v.sort_unstable();
+    v
+}
+
+fn canon_flat(
+    store: &EmbeddingStore,
+    ids: &[u64],
+    queries: &EmbeddingStore,
+    qi: usize,
+    k: usize,
+) -> Vec<(u32, u64)> {
+    let mut v: Vec<(u32, u64)> = store
+        .knn(queries, qi, k)
+        .iter()
+        .map(|h| (h.distance.to_bits(), ids[h.index]))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// In-order bit-exact view — the sharded store's own contract is
+/// order-exact against its concatenated flat materialization.
+fn ordered_hits(hits: &[ServeHit]) -> Vec<(u64, u32)> {
+    hits.iter().map(|h| (h.id, h.distance.to_bits())).collect()
+}
+
+/// Order-exact reference: flat scan of the sharded snapshot's own
+/// `to_flat`, ids mapped through the concatenated id column.
+fn flat_reference(
+    snap: &ShardedSnapshot,
+    queries: &EmbeddingStore,
+    qi: usize,
+    k: usize,
+) -> Vec<(u64, u32)> {
+    let (flat, ids) = snap.to_flat();
+    flat.knn(queries, qi, k)
+        .iter()
+        .map(|h| (ids[h.index], h.distance.to_bits()))
+        .collect()
+}
+
+fn sharded_opts(shards: usize, background: bool, threshold: usize) -> ShardedServingOptions {
+    ShardedServingOptions {
+        shards,
+        background,
+        serving: ServingOptions {
+            compact_threshold: threshold,
+            ..ServingOptions::default()
+        },
+    }
+}
+
+fn single_opts(threshold: usize) -> ServingOptions {
+    ServingOptions {
+        compact_threshold: threshold,
+        ..ServingOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sharded store tracks both a single `ServingStore` and a
+    /// `BTreeMap` model through interleaved upsert/remove/query/compact
+    /// sequences, for shard counts {1, 2, 7}, with inline or background
+    /// compaction: same live id set, same replace/exist reports, hit
+    /// *sets* equal to both references at every query point, and hit
+    /// *order* bit-identical to a flat scan of its own concatenated live
+    /// rows. With `background` the compactor thread races these writes,
+    /// so the watermark catch-up install is exercised under real
+    /// interleavings.
+    #[test]
+    fn sharded_tracks_single_store_and_model(
+        dim in 1usize..5,
+        n0 in 0usize..30,
+        n_ops in 0usize..40,
+        k in 1usize..20,
+        shard_sel in 0usize..3,
+        bg_sel in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let shards = SHARD_COUNTS[shard_sel];
+        let background = bg_sel == 1;
+        // Aggressive threshold so sequences actually trip compaction.
+        let threshold = 6;
+        for variant in VARIANTS {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x54a3d);
+            let (base, ids, mut model) = seed_rows(variant, dim, n0, &mut rng);
+            let sharded = ShardedServingStore::new(
+                base.clone(),
+                ids.clone(),
+                sharded_opts(shards, background, threshold),
+            )
+            .expect("unique seeded ids");
+            let single = ServingStore::new(base, ids, single_opts(threshold))
+                .expect("unique seeded ids");
+            let queries = {
+                let mut q = empty_store(variant, dim);
+                for _ in 0..2 {
+                    let row = random_row(variant, dim, &mut rng);
+                    q.push(&row.0, row.1.as_deref(), row.2.as_deref());
+                }
+                q
+            };
+
+            let id_space = (2 * n0 + 8) as u64;
+            for op in random_ops(variant, dim, n_ops, id_space, &mut rng) {
+                match op {
+                    Op::Upsert(id, row) => {
+                        let a = sharded
+                            .upsert(id, &row.0, row.1.as_deref(), row.2.as_deref())
+                            .expect("sharded upsert");
+                        let b = single
+                            .upsert(id, &row.0, row.1.as_deref(), row.2.as_deref())
+                            .expect("single upsert");
+                        let m = model.insert(id, row).is_some();
+                        prop_assert_eq!(a, m, "sharded upsert({}) report", id);
+                        prop_assert_eq!(b, m, "single upsert({}) report", id);
+                    }
+                    Op::Remove(id) => {
+                        let a = sharded.remove(id).expect("sharded remove");
+                        let b = single.remove(id).expect("single remove");
+                        let m = model.remove(&id).is_some();
+                        prop_assert_eq!(a, m, "sharded remove({}) report", id);
+                        prop_assert_eq!(b, m, "single remove({}) report", id);
+                    }
+                    Op::Query => {
+                        let snap = sharded.snapshot();
+                        let got = ordered_hits(&snap.knn(&queries, 0, k));
+                        prop_assert_eq!(
+                            &got,
+                            &flat_reference(&snap, &queries, 0, k),
+                            "{} mid-sequence order-exact", variant.name()
+                        );
+                        let (flat, flat_ids) = model_store(variant, dim, &model);
+                        prop_assert_eq!(
+                            canon_hits(&snap.knn(&queries, 0, k)),
+                            canon_flat(&flat, &flat_ids, &queries, 0, k),
+                            "{} mid-sequence vs model", variant.name()
+                        );
+                    }
+                    Op::Compact => {
+                        sharded.compact_inline().expect("sharded compact");
+                        single.compact().expect("single compact");
+                    }
+                }
+            }
+            // Quiesce the compactor before final assertions.
+            sharded.drain().expect("background folds");
+
+            let snap = sharded.snapshot();
+            let mut live = snap.live_ids();
+            live.sort_unstable();
+            let want: Vec<u64> = model.keys().copied().collect();
+            prop_assert_eq!(&live, &want, "{} live id set", variant.name());
+            prop_assert_eq!(sharded.len(), model.len());
+            prop_assert_eq!(snap.len(), model.len());
+            prop_assert_eq!(sharded.stats().live_rows, model.len());
+
+            let single_snap = single.snapshot();
+            for qi in 0..queries.len() {
+                let hits = snap.knn(&queries, qi, k);
+                prop_assert_eq!(hits.len(), k.min(model.len()));
+                for w in hits.windows(2) {
+                    prop_assert!(
+                        w[0].distance.total_cmp(&w[1].distance).is_le(),
+                        "sharded hits must stay sorted"
+                    );
+                }
+                prop_assert_eq!(
+                    ordered_hits(&hits),
+                    flat_reference(&snap, &queries, qi, k),
+                    "{} shards={} order-exact vs own flat scan", variant.name(), shards
+                );
+                prop_assert_eq!(
+                    canon_hits(&hits),
+                    canon_hits(&single_snap.knn(&queries, qi, k)),
+                    "{} shards={} vs single store", variant.name(), shards
+                );
+            }
+        }
+    }
+
+    /// Per-shard snapshot isolation composes: a cross-shard snapshot
+    /// pinned before a write burst keeps answering from its epoch's rows
+    /// — same live ids, bit-identical ordered hits — no matter what the
+    /// writers and the background compactor publish afterwards.
+    #[test]
+    fn pinned_sharded_snapshot_survives_writes(
+        dim in 1usize..5,
+        n0 in 1usize..20,
+        n_ops in 1usize..30,
+        k in 1usize..12,
+        shard_sel in 0usize..3,
+        bg_sel in 0usize..2,
+        seed in 0u64..1_000_000,
+    ) {
+        let shards = SHARD_COUNTS[shard_sel];
+        let background = bg_sel == 1;
+        for variant in VARIANTS {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xb1f05);
+            let (base, ids, _model) = seed_rows(variant, dim, n0, &mut rng);
+            let store = ShardedServingStore::new(
+                base,
+                ids,
+                sharded_opts(shards, background, 4),
+            )
+            .expect("unique ids");
+            let queries = {
+                let mut q = empty_store(variant, dim);
+                let row = random_row(variant, dim, &mut rng);
+                q.push(&row.0, row.1.as_deref(), row.2.as_deref());
+                q
+            };
+            let pinned = store.snapshot();
+            let epoch0 = pinned.epoch();
+            let ids0 = pinned.live_ids();
+            let hits0 = ordered_hits(&pinned.knn(&queries, 0, k));
+
+            let id_space = (2 * n0 + 8) as u64;
+            for op in random_ops(variant, dim, n_ops, id_space, &mut rng) {
+                match op {
+                    Op::Upsert(id, row) => {
+                        store
+                            .upsert(id, &row.0, row.1.as_deref(), row.2.as_deref())
+                            .expect("upsert");
+                    }
+                    Op::Remove(id) => {
+                        store.remove(id).expect("remove");
+                    }
+                    Op::Query => {
+                        std::hint::black_box(store.snapshot().knn(&queries, 0, k));
+                    }
+                    Op::Compact => store.compact_inline().expect("compact"),
+                }
+            }
+            store.drain().expect("background folds");
+
+            prop_assert_eq!(pinned.epoch(), epoch0);
+            prop_assert_eq!(pinned.live_ids(), ids0, "{} pinned ids", variant.name());
+            prop_assert_eq!(
+                ordered_hits(&pinned.knn(&queries, 0, k)),
+                hits0,
+                "{} pinned hits", variant.name()
+            );
+        }
+    }
+
+    /// Crash safety across shards: tear ONE shard's WAL at an arbitrary
+    /// byte past its header. Recovery must land on "torn shard at some
+    /// logged prefix of its own op subsequence, every other shard
+    /// complete" — per-shard logs are independent, so one torn log never
+    /// costs another shard's writes. A mid-history `compact_inline`
+    /// exercises the per-shard checkpoint + WAL-truncation path too.
+    #[test]
+    fn torn_shard_wal_recovers_to_prefix(
+        dim in 1usize..4,
+        n0 in 0usize..12,
+        n_ops in 2usize..20,
+        cut_frac in 0.0f64..1.0,
+        shard_sel in 1usize..3, // 2 or 7 shards — one shard torn, others intact
+        torn_pick in 0usize..64,
+        seed in 0u64..1_000_000,
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let shards = SHARD_COUNTS[shard_sel];
+        let torn = torn_pick % shards;
+        for variant in [PluginVariant::Original, PluginVariant::FusionDist] {
+            let dir = std::env::temp_dir().join(format!(
+                "lh-serve-shard-prop-{}-{}",
+                std::process::id(),
+                CASE.fetch_add(1, Ordering::Relaxed)
+            ));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x7042);
+            let (base, ids, model0) = seed_rows(variant, dim, n0, &mut rng);
+            // Inline compaction off (threshold 0) so the WAL carries all
+            // post-checkpoint ops deterministically.
+            let store = ShardedServingStore::create_durable(
+                &dir,
+                base,
+                ids,
+                sharded_opts(shards, false, 0),
+            )
+            .expect("create durable sharded store");
+
+            let queries = {
+                let mut q = empty_store(variant, dim);
+                let row = random_row(variant, dim, &mut rng);
+                q.push(&row.0, row.1.as_deref(), row.2.as_deref());
+                q
+            };
+            let k_all = n0 + n_ops + 1;
+            let id_space = (2 * n0 + 8) as u64;
+            let ops: Vec<(u64, Option<Row>)> = (0..n_ops)
+                .map(|_| {
+                    let id = rng.gen_range(0..id_space);
+                    if rng.gen_range(0..100u32) < 70 {
+                        (id, Some(random_row(variant, dim, &mut rng)))
+                    } else {
+                        (id, None)
+                    }
+                })
+                .collect();
+
+            // First half, then a full checkpoint, then the second half —
+            // the torn shard's WAL holds only its post-checkpoint ops.
+            let mut model = model0;
+            let half = n_ops / 2;
+            for (id, row) in &ops[..half] {
+                match row {
+                    Some(row) => {
+                        store
+                            .upsert(*id, &row.0, row.1.as_deref(), row.2.as_deref())
+                            .expect("upsert");
+                        model.insert(*id, row.clone());
+                    }
+                    None => {
+                        store.remove(*id).expect("remove");
+                        model.remove(id);
+                    }
+                }
+            }
+            store.compact_inline().expect("mid-history checkpoint");
+
+            // The torn shard can recover to any prefix of its own
+            // post-checkpoint subsequence; other shards replay fully.
+            // Fingerprint each such hybrid state of the whole store.
+            let state_of = |model: &BTreeMap<u64, Row>| {
+                let (flat, flat_ids) = model_store(variant, dim, model);
+                let hits = if flat.is_empty() {
+                    Vec::new()
+                } else {
+                    canon_flat(&flat, &flat_ids, &queries, 0, k_all)
+                };
+                (model.keys().copied().collect::<Vec<u64>>(), hits)
+            };
+            let checkpoint_model = model.clone();
+            let mut torn_suffix: Vec<(u64, Option<Row>)> = Vec::new();
+            for (id, row) in &ops[half..] {
+                match row {
+                    Some(row) => {
+                        store
+                            .upsert(*id, &row.0, row.1.as_deref(), row.2.as_deref())
+                            .expect("upsert");
+                        model.insert(*id, row.clone());
+                    }
+                    None => {
+                        store.remove(*id).expect("remove");
+                        model.remove(id);
+                    }
+                }
+                if shard_of_id(*id, shards) == torn {
+                    torn_suffix.push((*id, row.clone()));
+                }
+            }
+            // Hybrid i: other shards final, torn shard after i of its ops.
+            let final_model = model;
+            let hybrid = |i: usize| {
+                let mut m: BTreeMap<u64, Row> = final_model
+                    .iter()
+                    .filter(|(id, _)| shard_of_id(**id, shards) != torn)
+                    .map(|(id, row)| (*id, row.clone()))
+                    .collect();
+                for (id, row) in checkpoint_model
+                    .iter()
+                    .filter(|(id, _)| shard_of_id(**id, shards) == torn)
+                {
+                    m.insert(*id, row.clone());
+                }
+                for (id, row) in &torn_suffix[..i] {
+                    match row {
+                        Some(row) => {
+                            m.insert(*id, row.clone());
+                        }
+                        None => {
+                            m.remove(id);
+                        }
+                    }
+                }
+                m
+            };
+            let candidate_states: Vec<_> = (0..=torn_suffix.len())
+                .map(|i| state_of(&hybrid(i)))
+                .collect();
+            drop(store);
+
+            // Tear the chosen shard's log past its 16-byte header.
+            let wal_path = dir.join(format!("shard-{torn:04}")).join("serve.wal");
+            let len = std::fs::metadata(&wal_path).expect("wal exists").len();
+            let body = len.saturating_sub(16);
+            let keep = 16 + ((body as f64) * (1.0 - cut_frac)) as u64;
+            std::fs::OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .expect("open wal")
+                .set_len(keep)
+                .expect("truncate wal");
+
+            let recovered =
+                ShardedServingStore::recover(&dir, sharded_opts(shards, false, 0))
+                    .expect("recover");
+            prop_assert_eq!(recovered.num_shards(), shards, "manifest shard count");
+            let snap = recovered.snapshot();
+            let mut live = snap.live_ids();
+            live.sort_unstable();
+            let hits = canon_hits(&snap.knn(&queries, 0, k_all));
+            let got = (live, hits);
+            let matched = candidate_states.iter().position(|s| s == &got);
+            prop_assert!(
+                matched.is_some(),
+                "{} recovered state matches no torn-shard prefix \
+                 (shards={} torn={} n0={} ops={} keep={}/{})",
+                variant.name(), shards, torn, n0, n_ops, keep, len
+            );
+            if cut_frac == 0.0 {
+                prop_assert_eq!(
+                    matched,
+                    Some(candidate_states.len() - 1),
+                    "an untorn log must replay completely"
+                );
+            }
+            drop(recovered);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Finds ids routing to each of two distinct shards.
+fn ids_for_two_shards(shards: usize) -> (Vec<u64>, Vec<u64>) {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let shard_a = shard_of_id(0, shards);
+    for id in 0..10_000u64 {
+        let s = shard_of_id(id, shards);
+        if s == shard_a {
+            a.push(id);
+        } else if b.is_empty() || shard_of_id(b[0], shards) == s {
+            b.push(id);
+        }
+        if a.len() >= 64 && b.len() >= 64 {
+            break;
+        }
+    }
+    (a, b)
+}
+
+/// The background compactor is deterministic where it must be: force-trip
+/// two shards, `drain()`, and the post-compaction kNN order is
+/// bit-identical to a flat scan of the merged live rows (the PR 9
+/// order-identity property, extended to the async path).
+#[test]
+fn background_compactor_determinism() {
+    let shards = 4;
+    let threshold = 8;
+    for variant in VARIANTS {
+        let mut rng = StdRng::seed_from_u64(0xd7a1);
+        let dim = 3;
+        let store = ShardedServingStore::new(
+            empty_store(variant, dim),
+            Vec::new(),
+            ShardedServingOptions {
+                shards,
+                background: true,
+                serving: ServingOptions {
+                    compact_threshold: threshold,
+                    ..ServingOptions::default()
+                },
+            },
+        )
+        .expect("empty sharded store");
+        let (shard_a_ids, shard_b_ids) = ids_for_two_shards(shards);
+        assert_ne!(
+            store.shard_of(shard_a_ids[0]),
+            store.shard_of(shard_b_ids[0]),
+            "picked ids must land on two distinct shards"
+        );
+        let queries = {
+            let mut q = empty_store(variant, dim);
+            for _ in 0..3 {
+                let row = random_row(variant, dim, &mut rng);
+                q.push(&row.0, row.1.as_deref(), row.2.as_deref());
+            }
+            q
+        };
+        // Push both shards well past the threshold.
+        let mut model: BTreeMap<u64, Row> = BTreeMap::new();
+        for &id in shard_a_ids
+            .iter()
+            .take(2 * threshold)
+            .chain(shard_b_ids.iter().take(2 * threshold))
+        {
+            let row = random_row(variant, dim, &mut rng);
+            store
+                .upsert(id, &row.0, row.1.as_deref(), row.2.as_deref())
+                .expect("upsert");
+            model.insert(id, row);
+        }
+        store.drain().expect("both folds land");
+
+        let tripped = store
+            .shard_stats()
+            .iter()
+            .filter(|s| s.compactions > 0)
+            .count();
+        assert!(
+            tripped >= 2,
+            "{}: expected >=2 shards compacted in the background, got {tripped}",
+            variant.name()
+        );
+        let snap = store.snapshot();
+        // Folds landed: the tripped churn left the delta segments.
+        assert!(
+            snap.delta_rows() < 2 * threshold,
+            "{}: deltas must have been folded",
+            variant.name()
+        );
+        for qi in 0..queries.len() {
+            let got = ordered_hits(&snap.knn(&queries, qi, 10));
+            assert_eq!(
+                got,
+                flat_reference(&snap, &queries, qi, 10),
+                "{} qi={qi}: post-drain kNN order vs merged flat scan",
+                variant.name()
+            );
+        }
+        let (flat, flat_ids) = model_store(variant, dim, &model);
+        assert_eq!(
+            canon_hits(&snap.knn(&queries, 0, 10)),
+            canon_flat(&flat, &flat_ids, &queries, 0, 10),
+            "{}: post-drain hits vs model",
+            variant.name()
+        );
+    }
+}
+
+/// A durable store whose background fold installed mid-churn re-logs the
+/// post-pin residue into the fresh WAL: recovery after a clean shutdown
+/// must reproduce the exact pre-shutdown state (ids and bit-exact hits),
+/// including the writes that landed between the fold's pin and install.
+#[test]
+fn background_fold_durable_recovery() {
+    let shards = 2;
+    for variant in [PluginVariant::Original, PluginVariant::FusionDist] {
+        let dir = std::env::temp_dir().join(format!(
+            "lh-serve-shard-bg-{}-{}",
+            variant.name(),
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut rng = StdRng::seed_from_u64(0xbead);
+        let dim = 3;
+        let opts = ShardedServingOptions {
+            shards,
+            background: true,
+            serving: ServingOptions {
+                compact_threshold: 8,
+                ..ServingOptions::default()
+            },
+        };
+        let store =
+            ShardedServingStore::create_durable(&dir, empty_store(variant, dim), Vec::new(), opts)
+                .expect("create durable");
+        for id in 0..64u64 {
+            let row = random_row(variant, dim, &mut rng);
+            store
+                .upsert(id, &row.0, row.1.as_deref(), row.2.as_deref())
+                .expect("upsert");
+            if id % 5 == 0 {
+                store.remove(id / 2).ok();
+            }
+        }
+        store.drain().expect("folds land");
+        assert!(
+            store.stats().compactions > 0,
+            "{}: churn must have tripped background folds",
+            variant.name()
+        );
+        let queries = {
+            let mut q = empty_store(variant, dim);
+            let row = random_row(variant, dim, &mut rng);
+            q.push(&row.0, row.1.as_deref(), row.2.as_deref());
+            q
+        };
+        let snap = store.snapshot();
+        let mut expect_ids = snap.live_ids();
+        expect_ids.sort_unstable();
+        let expect_hits = canon_hits(&snap.knn(&queries, 0, 100));
+        let expect_live = store.stats().live_rows;
+        drop(snap);
+        drop(store); // drains + joins the compactor, final WAL state on disk
+
+        let back = ShardedServingStore::recover(&dir, opts).expect("recover");
+        assert_eq!(back.stats().live_rows, expect_live, "{}", variant.name());
+        let snap = back.snapshot();
+        let mut got_ids = snap.live_ids();
+        got_ids.sort_unstable();
+        assert_eq!(got_ids, expect_ids, "{} live ids", variant.name());
+        assert_eq!(
+            canon_hits(&snap.knn(&queries, 0, 100)),
+            expect_hits,
+            "{} bit-exact hits through the residual re-log",
+            variant.name()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Recovering with a different `shards` option must follow the manifest,
+/// not the option — the partition function is keyed by the persisted
+/// count.
+#[test]
+fn manifest_pins_shard_count_on_recovery() {
+    let dir = std::env::temp_dir().join(format!("lh-serve-shard-manifest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let variant = PluginVariant::Original;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut base = empty_store(variant, 2);
+    for _ in 0..6 {
+        let row = random_row(variant, 2, &mut rng);
+        base.push(&row.0, row.1.as_deref(), row.2.as_deref());
+    }
+    let store = ShardedServingStore::create_durable(
+        &dir,
+        base,
+        (0..6).collect(),
+        sharded_opts(3, false, 0),
+    )
+    .expect("create");
+    assert_eq!(store.num_shards(), 3);
+    drop(store);
+    // Ask for 7 shards; the manifest says 3.
+    let back = ShardedServingStore::recover(&dir, sharded_opts(7, false, 0)).expect("recover");
+    assert_eq!(back.num_shards(), 3, "manifest is authoritative");
+    assert_eq!(back.len(), 6);
+    let _ = std::fs::remove_dir_all(&dir);
+}
